@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one table or figure of the paper and both prints
+it (visible with ``pytest -s``) and writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name, text):
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"===== {name} ====="
+    block = f"{banner}\n{text}\n"
+    print()
+    print(block)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(block)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Table 1: the processor configuration.
+
+Verifies that ``CoreConfig.paper()`` instantiates exactly the machine of
+Table 1 and times a reference run on it (the PoC's victim warm path).
+"""
+
+from repro.analysis import format_table
+from repro.isa.instructions import FuKind
+from repro.pipeline import Core, CoreConfig
+from repro import MemoryImage, assemble
+
+from _common import emit, once
+
+
+def build_reference_run():
+    image = MemoryImage()
+    image.alloc_array("data", 64)
+    program = assemble("""
+        li r1, @data
+        li r2, 64
+    loop:
+        load r3, r1, 0
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne r2, r0, loop
+        halt
+    """, memory_image=image)
+    def run():
+        core = Core(program, memory_image=image, config=CoreConfig.paper(),
+                    warm_icache=True)
+        core.run()
+        return core
+    return run
+
+
+def test_table1_configuration(benchmark):
+    config = CoreConfig.paper()
+    h = config.hierarchy
+
+    # Assert every Table-1 parameter.
+    assert config.width == 4
+    assert config.frontend_depth == 6
+    assert config.predictor == "twolevel"
+    assert config.functional_units[FuKind.INT_ALU] == (4, 1)
+    assert config.functional_units[FuKind.INT_MUL] == (2, 2)
+    assert config.functional_units[FuKind.INT_DIV] == (1, 5)
+    assert config.functional_units[FuKind.FP_ADD] == (2, 5)
+    assert config.functional_units[FuKind.FP_MUL] == (1, 10)
+    assert config.functional_units[FuKind.FP_DIV] == (1, 15)
+    assert (config.int_regs, config.fp_regs, config.vec_regs) == (80, 40, 40)
+    assert config.rob_size == 256
+    assert (config.iq_size, config.lq_size, config.sq_size) == (40, 40, 40)
+    assert (h.l1i.size_bytes, h.l1i.assoc, h.l1i.latency) == (16384, 4, 2)
+    assert (h.l1d.size_bytes, h.l1d.assoc, h.l1d.latency) == (16384, 4, 2)
+    assert (h.l2.size_bytes, h.l2.assoc, h.l2.latency) == (131072, 8, 8)
+    assert (h.l3.size_bytes, h.l3.assoc, h.l3.latency) == (4194304, 8, 32)
+    assert h.mem_latency == 200
+
+    core = once(benchmark, build_reference_run())
+    assert core.halted
+
+    rows = [
+        ("Core", "out-of-order (cycle model)"),
+        ("Processor width", f"{config.width}-wide fetch/decode/dispatch/"
+                            "commit"),
+        ("Pipeline depth", f"{config.frontend_depth} front-end stages"),
+        ("Branch predictor", "two-level adaptive predictor"),
+        ("Functional units",
+         "4 int add (1cy), 2 int mult (2cy), 1 int div (5cy), "
+         "2 fp add (5cy), 1 fp mult (10cy), 1 fp div (15cy)"),
+        ("Register file", "80 int, 40 fp, 40 xmm"),
+        ("ROB", f"{config.rob_size} entries"),
+        ("Queues", f"i ({config.iq_size}), load ({config.lq_size}), "
+                   f"store ({config.sq_size})"),
+        ("L1 I-cache", "16KB, 4 way, 2 cycle"),
+        ("L1 D-cache", "16KB, 4 way, 2 cycle"),
+        ("L2 cache", "128KB, 8 way, 8 cycle"),
+        ("L3 cache", "4MB, 8 way, 32 cycle"),
+        ("Memory", f"request-based contention model, {h.mem_latency} cycle"),
+    ]
+    emit("table1_config",
+         format_table(["Component", "Parameter"], rows) +
+         f"\n\nreference run: {core.stats.cycles} cycles, "
+         f"IPC {core.stats.ipc:.3f}")

@@ -1,0 +1,44 @@
+"""repro — reproduction of SPECRUN (DAC 2024).
+
+A cycle-level out-of-order processor simulator with runahead execution,
+the SPECRUN transient-execution attack on it, and the secure-runahead
+defense, all in pure Python.
+
+Quickstart::
+
+    from repro import assemble, Core, CoreConfig, MemoryImage
+    from repro.runahead import OriginalRunahead
+
+    image = MemoryImage()
+    image.alloc_array("data", 64)
+    source = "li r1, @data\\nload r2, r1, 0\\nhalt\\n"
+    program = assemble(source, memory_image=image)
+    core = Core(program, memory_image=image, config=CoreConfig.paper(),
+                runahead=OriginalRunahead())
+    stats = core.run()
+    print(stats.summary())
+
+See :mod:`repro.attack` for the SPECRUN proof of concept and
+:mod:`repro.defense` for the §6 secure-runahead scheme.
+"""
+
+from .isa import (AssemblyError, Instruction, Interpreter, MemoryImage,
+                  Opcode, Program, ProgramBuilder, assemble, run_program)
+from .memory import (CacheConfig, HierarchyConfig, MemoryHierarchy,
+                     SetAssociativeCache)
+from .branch import (BranchTargetBuffer, BranchUnit, ReturnStackBuffer,
+                     make_direction_predictor)
+from .pipeline import Core, CoreConfig, CoreStats, RunaheadConfig, run_on_core
+from .runahead import NoRunahead, OriginalRunahead, RunaheadController
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError", "Instruction", "Interpreter", "MemoryImage", "Opcode",
+    "Program", "ProgramBuilder", "assemble", "run_program", "CacheConfig",
+    "HierarchyConfig", "MemoryHierarchy", "SetAssociativeCache",
+    "BranchTargetBuffer", "BranchUnit", "ReturnStackBuffer",
+    "make_direction_predictor", "Core", "CoreConfig", "CoreStats",
+    "RunaheadConfig", "run_on_core", "NoRunahead", "OriginalRunahead",
+    "RunaheadController", "__version__",
+]

@@ -1,0 +1,47 @@
+"""Leak detection and secret recovery from probe timings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .thresholds import classify_hits
+
+
+@dataclass
+class LeakReport:
+    """Interpretation of one probe-array timing vector (one Fig. 9 curve)."""
+
+    latencies: List[int]
+    hits: List[int]
+    threshold: int
+    recovered: Optional[int]     # the single leaked index, if unambiguous
+
+    @property
+    def leaked(self):
+        return self.recovered is not None
+
+    def describe(self):
+        if not self.leaked:
+            return "no leak detected (probe latencies are unimodal)"
+        return (f"leak at index {self.recovered} "
+                f"(latency {self.latencies[self.recovered]} vs "
+                f"threshold {self.threshold})")
+
+
+def analyze_probe(latencies, expected_hits=1, ignore_indices=()) -> LeakReport:
+    """Classify probe latencies and recover the leaked index.
+
+    ``ignore_indices`` excludes indices the experiment itself warms (for
+    example index 0 when a zero-valued word feeds the transmit address).
+    ``recovered`` is set only when the hit set, after exclusions, is a
+    single index — the unambiguous-dip criterion used in Fig. 9.
+    """
+    hits, threshold = classify_hits(latencies)
+    meaningful = [h for h in hits if h not in set(ignore_indices)]
+    recovered = meaningful[0] if len(meaningful) == expected_hits == 1 \
+        else None
+    if recovered is None and len(meaningful) == 1:
+        recovered = meaningful[0]
+    return LeakReport(latencies=list(latencies), hits=meaningful,
+                      threshold=threshold, recovered=recovered)

@@ -1,0 +1,53 @@
+"""Latency classification for the cache covert channel.
+
+The probe phase (Fig. 8 lines 17-22, Fig. 9) yields one access latency
+per candidate index.  Cached lines cluster near the L1/L2/L3 hit
+latencies; uncached lines near the memory latency.  The classifier finds
+the largest relative gap in the sorted latencies and splits there —
+robust to the exact hit level (a secret line evicted from L1 to L3 still
+sits far below a memory miss).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+def largest_gap_threshold(latencies) -> Optional[int]:
+    """Return a hit/miss threshold, or None if latencies look unimodal.
+
+    Splits at the largest absolute gap between consecutive sorted values,
+    provided that gap is at least twice the spread of the lower cluster
+    (guards against splitting noise).
+    """
+    values = sorted(latencies)
+    if len(values) < 2 or values[0] == values[-1]:
+        return None
+    best_gap = 0
+    best_index = None
+    for i in range(len(values) - 1):
+        gap = values[i + 1] - values[i]
+        if gap > best_gap:
+            best_gap = gap
+            best_index = i
+    if best_index is None:
+        return None
+    low_spread = values[best_index] - values[0]
+    if best_gap < 2 * max(low_spread, 1):
+        return None
+    return values[best_index] + best_gap // 2
+
+
+def classify_hits(latencies, threshold=None) -> Tuple[List[int], int]:
+    """Return (indices below threshold, threshold used).
+
+    With no explicit threshold, one is derived via
+    :func:`largest_gap_threshold`; if that fails (unimodal data — e.g. no
+    leak at all), an empty hit list is returned with threshold -1.
+    """
+    if threshold is None:
+        threshold = largest_gap_threshold(latencies)
+    if threshold is None:
+        return [], -1
+    hits = [i for i, lat in enumerate(latencies) if lat < threshold]
+    return hits, threshold

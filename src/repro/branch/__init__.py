@@ -1,0 +1,15 @@
+"""Branch prediction: direction predictors, BTB, RSB, combined unit."""
+
+from .base import DirectionPredictor, TwoBitCounter
+from .btb import BranchTargetBuffer
+from .predictors import (BimodalPredictor, GSharePredictor,
+                         TwoLevelPredictor, make_direction_predictor)
+from .rsb import ReturnStackBuffer
+from .unit import BranchStats, BranchUnit, Prediction
+
+__all__ = [
+    "DirectionPredictor", "TwoBitCounter", "BranchTargetBuffer",
+    "BimodalPredictor", "GSharePredictor", "TwoLevelPredictor",
+    "make_direction_predictor", "ReturnStackBuffer", "BranchStats",
+    "BranchUnit", "Prediction",
+]

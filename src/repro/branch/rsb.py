@@ -1,0 +1,70 @@
+"""Return stack buffer.
+
+A small circular stack of return addresses: ``call`` pushes, ``ret`` pops
+the prediction.  Crucially, the RSB predicts from its *own* copy of the
+return address while the architectural ``ret`` reads the in-memory stack —
+the divergence SpectreRSB exploits by overwriting (Fig. 4b) or flushing
+(Fig. 4c) the stack slot.
+
+The whole speculative state is tiny, so :meth:`snapshot` returns a full
+copy for misprediction recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class ReturnStackBuffer:
+    """Fixed-capacity circular return-address stack."""
+
+    def __init__(self, capacity=16):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries = [None] * capacity
+        self._top = 0       # index of the next free slot
+        self._depth = 0     # valid entries (saturates at capacity)
+        self.underflows = 0
+
+    def push(self, return_address):
+        """Record a call's return address (wraps around when full)."""
+        self._entries[self._top] = return_address
+        self._top = (self._top + 1) % self.capacity
+        if self._depth < self.capacity:
+            self._depth += 1
+
+    def pop(self) -> Optional[int]:
+        """Predict a return target; None on underflow."""
+        if self._depth == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.capacity
+        self._depth -= 1
+        return self._entries[self._top]
+
+    def peek(self) -> Optional[int]:
+        """Return the would-be prediction without popping."""
+        if self._depth == 0:
+            return None
+        return self._entries[(self._top - 1) % self.capacity]
+
+    @property
+    def depth(self):
+        return self._depth
+
+    def snapshot(self) -> Tuple:
+        """Full copy of the speculative state."""
+        return (tuple(self._entries), self._top, self._depth)
+
+    def restore(self, snap):
+        entries, top, depth = snap
+        self._entries = list(entries)
+        self._top = top
+        self._depth = depth
+
+    def reset(self):
+        self._entries = [None] * self.capacity
+        self._top = 0
+        self._depth = 0
+        self.underflows = 0

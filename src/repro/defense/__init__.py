@@ -1,0 +1,11 @@
+"""The §6 defenses: SL cache + taint tracking, and branch-skip restriction."""
+
+from .restrictions import BranchRestrictedRunahead
+from .secure import SecureRunahead
+from .sl_cache import SLCache, SLCacheStats, SLEntry
+from .taint import UNTRUSTED, Scope, TaintInfo, TaintTracker
+
+__all__ = [
+    "BranchRestrictedRunahead", "SecureRunahead", "SLCache", "SLCacheStats",
+    "SLEntry", "UNTRUSTED", "Scope", "TaintInfo", "TaintTracker",
+]

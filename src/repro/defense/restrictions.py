@@ -1,0 +1,44 @@
+"""The paper's alternative mitigation: skip INV-source branches.
+
+§6, last paragraph: "we can nullify the impact of branches on
+instruction execution within the runahead interval.  Once a branch
+predicate is identified as associated with a stalling load, the branch
+is skipped rather than unresolved."
+
+For a forward conditional branch with an INV predicate, *skipping* means
+control goes straight to the branch target (the bounds-check body never
+executes transiently — killing the SPECRUN gadget).  Unresolved indirect
+branches (``jr``/``ret`` with INV targets) have no skippable body, so
+runahead fetch simply stops for the rest of the interval.
+
+The cost: runahead cannot prefetch through data-dependent branches, which
+the defense benchmark quantifies against the SL-cache scheme.
+"""
+
+from __future__ import annotations
+
+from ..runahead.original import OriginalRunahead
+
+
+class BranchRestrictedRunahead(OriginalRunahead):
+    """Original runahead with INV-source branches skipped, not predicted."""
+
+    name = "branch-skip"
+
+    def __init__(self, min_stall_latency=0):
+        super().__init__(min_stall_latency=min_stall_latency)
+        self.skipped_branches = 0
+        self.stopped_fetches = 0
+
+    def on_inv_branch(self, core, entry):
+        instr = entry.instr
+        if instr.is_conditional_branch() and instr.target is not None and \
+                instr.target > entry.pc:
+            self.skipped_branches += 1
+            core.force_branch_outcome(entry, taken=True,
+                                      target=instr.target)
+        else:
+            # No static join point: kill the predicted path and stop
+            # runahead fetch for the rest of this interval.
+            self.stopped_fetches += 1
+            core.stop_runahead_fetch(entry)

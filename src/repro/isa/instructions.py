@@ -1,0 +1,310 @@
+"""Instruction set definition.
+
+A deliberately small RISC-style ISA that is nonetheless rich enough to
+express every gadget in the paper (Figs. 3, 8, 10 and 12):
+
+* integer/floating/vector ALU operations with the Table-1 functional-unit
+  classes,
+* loads/stores on a byte-addressed memory (8-byte aligned words),
+* conditional branches, direct/indirect jumps, and ``call``/``ret`` that go
+  through an in-memory stack (so SpectreRSB stack-overwrite and stack-flush
+  variants are expressible),
+* ``clflush`` (evict a line from the whole hierarchy), ``rdtsc`` (read the
+  cycle counter) and ``fence`` (drain serialization), which together form
+  the flush+reload timing probe of Fig. 8 lines 17-22.
+
+Instructions are immutable; a :class:`~repro.isa.program.Program` is a list
+of them with all branch targets resolved to instruction addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+INSTR_BYTES = 4
+WORD_BYTES = 8
+
+
+class FuKind(enum.Enum):
+    """Functional-unit classes, matching Table 1 of the paper."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mult"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mult"
+    FP_DIV = "fp_div"
+    MEM = "mem_port"
+    BRANCH = "branch"
+    NONE = "none"
+
+
+class Opcode(enum.Enum):
+    # Integer ALU (1 cycle).
+    LI = "li"
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SLT = "slt"
+    SLTU = "sltu"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SLTI = "slti"
+    # Integer multiply (2 cycles) / divide (5 cycles).
+    MUL = "mul"
+    MULI = "muli"
+    DIV = "div"
+    REM = "rem"
+    # Floating point: add-class (5), mul (10), div (15).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FCVT = "fcvt"
+    FMOV = "fmov"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Vector (two 64-bit lanes; mapped onto the fp units).
+    VADD = "vadd"
+    VMUL = "vmul"
+    VSPLAT = "vsplat"
+    VEXTRACT = "vextract"
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+    FLOAD = "fload"
+    FSTORE = "fstore"
+    VLOAD = "vload"
+    VSTORE = "vstore"
+    CLFLUSH = "clflush"
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    JMP = "jmp"
+    JR = "jr"
+    CALL = "call"
+    RET = "ret"
+    # Misc.
+    RDTSC = "rdtsc"
+    FENCE = "fence"
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Opcodes computed on the integer ALU.
+INT_ALU_OPS = frozenset({
+    Opcode.LI, Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+    Opcode.XOR, Opcode.SLL, Opcode.SRL, Opcode.SLT, Opcode.SLTU,
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+    Opcode.SRLI, Opcode.SLTI,
+})
+
+CONDITIONAL_BRANCHES = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
+})
+
+BRANCH_OPS = CONDITIONAL_BRANCHES | {Opcode.JMP, Opcode.JR, Opcode.CALL,
+                                     Opcode.RET}
+
+MEM_OPS = frozenset({
+    Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTORE, Opcode.VLOAD,
+    Opcode.VSTORE, Opcode.CLFLUSH,
+})
+
+LOAD_OPS = frozenset({Opcode.LOAD, Opcode.FLOAD, Opcode.VLOAD})
+STORE_OPS = frozenset({Opcode.STORE, Opcode.FSTORE, Opcode.VSTORE})
+
+_FU_BY_OPCODE = {}
+for _op in INT_ALU_OPS:
+    _FU_BY_OPCODE[_op] = FuKind.INT_ALU
+for _op in (Opcode.MUL, Opcode.MULI):
+    _FU_BY_OPCODE[_op] = FuKind.INT_MUL
+for _op in (Opcode.DIV, Opcode.REM):
+    _FU_BY_OPCODE[_op] = FuKind.INT_DIV
+for _op in (Opcode.FADD, Opcode.FSUB, Opcode.FCVT, Opcode.FMOV, Opcode.VADD,
+            Opcode.VSPLAT, Opcode.VEXTRACT):
+    _FU_BY_OPCODE[_op] = FuKind.FP_ADD
+for _op in (Opcode.FMUL, Opcode.VMUL):
+    _FU_BY_OPCODE[_op] = FuKind.FP_MUL
+for _op in (Opcode.FDIV,):
+    _FU_BY_OPCODE[_op] = FuKind.FP_DIV
+for _op in MEM_OPS:
+    _FU_BY_OPCODE[_op] = FuKind.MEM
+for _op in BRANCH_OPS:
+    _FU_BY_OPCODE[_op] = FuKind.BRANCH
+for _op in (Opcode.RDTSC, Opcode.FENCE, Opcode.NOP, Opcode.HALT):
+    _FU_BY_OPCODE[_op] = FuKind.NONE
+
+
+def fu_kind(opcode):
+    """Return the functional-unit class an opcode executes on."""
+    return _FU_BY_OPCODE[opcode]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``dest`` and ``srcs`` are flat register indices (see
+    :mod:`repro.isa.registers`); ``imm`` is an integer or float immediate;
+    ``target`` is a resolved instruction address for direct control flow.
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: object = None
+    target: Optional[int] = None
+
+    def is_branch(self):
+        return self.opcode in BRANCH_OPS
+
+    def is_conditional_branch(self):
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    def is_mem(self):
+        return self.opcode in MEM_OPS
+
+    def is_load(self):
+        return self.opcode in LOAD_OPS
+
+    def is_store(self):
+        return self.opcode in STORE_OPS
+
+    @property
+    def fu(self):
+        return fu_kind(self.opcode)
+
+    def reads(self):
+        """Registers read by this instruction (in operand order)."""
+        return self.srcs
+
+    def writes(self):
+        """Register written by this instruction, or None."""
+        return self.dest
+
+    def __str__(self):
+        from .registers import reg_name
+
+        parts = [self.opcode.value]
+        operands = []
+        if self.dest is not None:
+            operands.append(reg_name(self.dest))
+        operands.extend(reg_name(src) for src in self.srcs)
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        if self.target is not None:
+            operands.append(f"-> {self.target:#x}")
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def to_unsigned64(value):
+    """Wrap a Python int to an unsigned 64-bit value."""
+    return value & _MASK64
+
+
+def to_signed64(value):
+    """Interpret a Python int as a signed 64-bit value."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def eval_int_alu(opcode, a, b, imm):
+    """Evaluate an integer ALU/MUL/DIV opcode.
+
+    ``a`` and ``b`` are unsigned 64-bit source values (``b`` may be None for
+    immediate forms).  Returns the unsigned 64-bit result.
+    """
+    if opcode is Opcode.LI:
+        return to_unsigned64(imm)
+    if opcode is Opcode.MOV:
+        return a
+    if opcode is Opcode.ADD:
+        return to_unsigned64(a + b)
+    if opcode is Opcode.ADDI:
+        return to_unsigned64(a + imm)
+    if opcode is Opcode.SUB:
+        return to_unsigned64(a - b)
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.ANDI:
+        return a & to_unsigned64(imm)
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.ORI:
+        return a | to_unsigned64(imm)
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.XORI:
+        return a ^ to_unsigned64(imm)
+    if opcode is Opcode.SLL:
+        return to_unsigned64(a << (b & 63))
+    if opcode is Opcode.SLLI:
+        return to_unsigned64(a << (imm & 63))
+    if opcode is Opcode.SRL:
+        return a >> (b & 63)
+    if opcode is Opcode.SRLI:
+        return a >> (imm & 63)
+    if opcode is Opcode.SLT:
+        return 1 if to_signed64(a) < to_signed64(b) else 0
+    if opcode is Opcode.SLTI:
+        return 1 if to_signed64(a) < imm else 0
+    if opcode is Opcode.SLTU:
+        return 1 if a < b else 0
+    if opcode is Opcode.MUL:
+        return to_unsigned64(to_signed64(a) * to_signed64(b))
+    if opcode is Opcode.MULI:
+        return to_unsigned64(to_signed64(a) * imm)
+    if opcode is Opcode.DIV:
+        if b == 0:
+            return _MASK64
+        quotient = abs(to_signed64(a)) // abs(to_signed64(b))
+        if (to_signed64(a) < 0) != (to_signed64(b) < 0):
+            quotient = -quotient
+        return to_unsigned64(quotient)
+    if opcode is Opcode.REM:
+        if b == 0:
+            return a
+        sa, sb = to_signed64(a), to_signed64(b)
+        remainder = abs(sa) % abs(sb)
+        if sa < 0:
+            remainder = -remainder
+        return to_unsigned64(remainder)
+    raise ValueError(f"not an integer ALU opcode: {opcode}")
+
+
+def eval_branch(opcode, a, b):
+    """Evaluate a conditional branch predicate on unsigned 64-bit values."""
+    if opcode is Opcode.BEQ:
+        return a == b
+    if opcode is Opcode.BNE:
+        return a != b
+    if opcode is Opcode.BLT:
+        return to_signed64(a) < to_signed64(b)
+    if opcode is Opcode.BGE:
+        return to_signed64(a) >= to_signed64(b)
+    if opcode is Opcode.BLTU:
+        return a < b
+    if opcode is Opcode.BGEU:
+        return a >= b
+    raise ValueError(f"not a conditional branch: {opcode}")

@@ -1,0 +1,226 @@
+"""Functional reference interpreter (golden model).
+
+Executes a :class:`~repro.isa.program.Program` with simple sequential
+semantics and no timing.  The out-of-order core, with or without runahead,
+must always produce the same *architectural* end state as this
+interpreter — the property-based differential tests in
+``tests/pipeline/test_differential.py`` assert exactly that.
+
+Timing-dependent results are implementation-defined: ``rdtsc`` here
+returns the executed-instruction count, so differential tests exclude it.
+``clflush`` and ``fence`` are architectural no-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .instructions import (INSTR_BYTES, WORD_BYTES, Instruction, Opcode,
+                           eval_branch, eval_int_alu, to_signed64,
+                           to_unsigned64)
+from .program import Program
+from .registers import (FP_CLASS, INT_CLASS, NUM_ARCH_REGS, REG_SP, REG_ZERO,
+                        VEC_CLASS, make_register_file, reg_class)
+
+
+class InterpreterError(RuntimeError):
+    """Raised on invalid execution (misalignment, runaway programs...)."""
+
+
+@dataclass
+class InterpreterResult:
+    """Architectural end state of an interpreted run."""
+
+    registers: List[object]
+    memory: Dict[int, object]
+    steps: int
+    halted: bool
+    pc: int
+    trace: List[int] = field(default_factory=list)
+
+    def reg(self, index):
+        return self.registers[index]
+
+
+def _read_word(memory, addr):
+    if addr % WORD_BYTES:
+        raise InterpreterError(f"misaligned load address: {addr:#x}")
+    return memory.get(addr, 0)
+
+
+def _write_word(memory, addr, value):
+    if addr % WORD_BYTES:
+        raise InterpreterError(f"misaligned store address: {addr:#x}")
+    memory[addr] = value
+
+
+def _as_int(value):
+    if isinstance(value, float):
+        return to_unsigned64(int(value))
+    return to_unsigned64(int(value))
+
+
+def _as_float(value):
+    return float(value)
+
+
+class Interpreter:
+    """Stepwise functional executor; use :func:`run_program` for one-shots."""
+
+    def __init__(self, program: Program, memory_image=None, initial_sp=None):
+        self.program = program
+        self.registers = make_register_file()
+        self.memory: Dict[int, object] = {}
+        if memory_image is not None:
+            self.memory.update(memory_image.initial_words())
+        if initial_sp is not None:
+            self.registers[REG_SP] = to_unsigned64(initial_sp)
+        self.pc = 0
+        self.steps = 0
+        self.halted = False
+
+    # -- register access ------------------------------------------------------
+
+    def read_reg(self, reg):
+        if reg == REG_ZERO:
+            return 0
+        return self.registers[reg]
+
+    def write_reg(self, reg, value):
+        if reg == REG_ZERO:
+            return
+        cls = reg_class(reg)
+        if cls == INT_CLASS:
+            value = to_unsigned64(int(value))
+        elif cls == FP_CLASS:
+            value = float(value)
+        self.registers[reg] = value
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction; returns False once halted/off the end."""
+        if self.halted:
+            return False
+        instr = self.program.fetch(self.pc)
+        if instr is None:
+            self.halted = True
+            return False
+        self.steps += 1
+        next_pc = self.pc + INSTR_BYTES
+        op = instr.opcode
+
+        if op in (Opcode.NOP, Opcode.FENCE, Opcode.CLFLUSH):
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+            self.pc = next_pc
+            return False
+        elif op is Opcode.RDTSC:
+            self.write_reg(instr.dest, self.steps)
+        elif op is Opcode.LOAD:
+            addr = to_unsigned64(self.read_reg(instr.srcs[0]) + instr.imm)
+            self.write_reg(instr.dest, _as_int(_read_word(self.memory, addr)))
+        elif op is Opcode.FLOAD:
+            addr = to_unsigned64(self.read_reg(instr.srcs[0]) + instr.imm)
+            self.write_reg(instr.dest, _as_float(_read_word(self.memory, addr)))
+        elif op is Opcode.VLOAD:
+            addr = to_unsigned64(self.read_reg(instr.srcs[0]) + instr.imm)
+            lane0 = _as_int(_read_word(self.memory, addr))
+            lane1 = _as_int(_read_word(self.memory, addr + WORD_BYTES))
+            self.write_reg(instr.dest, (lane0, lane1))
+        elif op is Opcode.STORE:
+            value = self.read_reg(instr.srcs[0])
+            addr = to_unsigned64(self.read_reg(instr.srcs[1]) + instr.imm)
+            _write_word(self.memory, addr, _as_int(value))
+        elif op is Opcode.FSTORE:
+            value = self.read_reg(instr.srcs[0])
+            addr = to_unsigned64(self.read_reg(instr.srcs[1]) + instr.imm)
+            _write_word(self.memory, addr, _as_float(value))
+        elif op is Opcode.VSTORE:
+            lanes = self.read_reg(instr.srcs[0])
+            addr = to_unsigned64(self.read_reg(instr.srcs[1]) + instr.imm)
+            _write_word(self.memory, addr, _as_int(lanes[0]))
+            _write_word(self.memory, addr + WORD_BYTES, _as_int(lanes[1]))
+        elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+            a = _as_float(self.read_reg(instr.srcs[0]))
+            b = _as_float(self.read_reg(instr.srcs[1]))
+            if op is Opcode.FADD:
+                result = a + b
+            elif op is Opcode.FSUB:
+                result = a - b
+            elif op is Opcode.FMUL:
+                result = a * b
+            else:
+                result = a / b if b else float("inf")
+            self.write_reg(instr.dest, result)
+        elif op is Opcode.FCVT:
+            self.write_reg(instr.dest,
+                           float(to_signed64(self.read_reg(instr.srcs[0]))))
+        elif op is Opcode.FMOV:
+            self.write_reg(instr.dest, _as_float(self.read_reg(instr.srcs[0])))
+        elif op in (Opcode.VADD, Opcode.VMUL):
+            a = self.read_reg(instr.srcs[0])
+            b = self.read_reg(instr.srcs[1])
+            if op is Opcode.VADD:
+                result = (to_unsigned64(a[0] + b[0]), to_unsigned64(a[1] + b[1]))
+            else:
+                result = (to_unsigned64(a[0] * b[0]), to_unsigned64(a[1] * b[1]))
+            self.write_reg(instr.dest, result)
+        elif op is Opcode.VSPLAT:
+            value = _as_int(self.read_reg(instr.srcs[0]))
+            self.write_reg(instr.dest, (value, value))
+        elif op is Opcode.VEXTRACT:
+            lanes = self.read_reg(instr.srcs[0])
+            self.write_reg(instr.dest, _as_int(lanes[instr.imm & 1]))
+        elif instr.is_conditional_branch():
+            a = _as_int(self.read_reg(instr.srcs[0]))
+            b = _as_int(self.read_reg(instr.srcs[1]))
+            if eval_branch(op, a, b):
+                next_pc = instr.target
+        elif op is Opcode.JMP:
+            next_pc = instr.target
+        elif op is Opcode.JR:
+            next_pc = _as_int(self.read_reg(instr.srcs[0]))
+        elif op is Opcode.CALL:
+            sp = to_unsigned64(_as_int(self.read_reg(REG_SP)) - WORD_BYTES)
+            _write_word(self.memory, sp, self.pc + INSTR_BYTES)
+            self.write_reg(REG_SP, sp)
+            next_pc = instr.target
+        elif op is Opcode.RET:
+            sp = _as_int(self.read_reg(REG_SP))
+            next_pc = _as_int(_read_word(self.memory, sp))
+            self.write_reg(REG_SP, to_unsigned64(sp + WORD_BYTES))
+        else:
+            # Integer ALU / MUL / DIV family.
+            a = _as_int(self.read_reg(instr.srcs[0])) if instr.srcs else 0
+            b = _as_int(self.read_reg(instr.srcs[1])) if len(instr.srcs) > 1 else None
+            self.write_reg(instr.dest, eval_int_alu(op, a, b, instr.imm))
+
+        self.pc = next_pc
+        return True
+
+    def run(self, max_steps=1_000_000):
+        """Run until halt or ``max_steps``; returns an InterpreterResult."""
+        while self.steps < max_steps:
+            if not self.step():
+                break
+        else:
+            raise InterpreterError(
+                f"program did not halt within {max_steps} steps")
+        return InterpreterResult(
+            registers=list(self.registers),
+            memory=dict(self.memory),
+            steps=self.steps,
+            halted=self.halted,
+            pc=self.pc,
+        )
+
+
+def run_program(program, memory_image=None, initial_sp=None,
+                max_steps=1_000_000):
+    """Interpret a program and return its architectural end state."""
+    interp = Interpreter(program, memory_image=memory_image,
+                         initial_sp=initial_sp)
+    return interp.run(max_steps=max_steps)

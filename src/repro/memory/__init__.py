@@ -1,0 +1,17 @@
+"""Memory subsystem: caches, replacement, main memory, hierarchy."""
+
+from .cache import CacheConfig, CacheStats, SetAssociativeCache
+from .hierarchy import (LEVEL_L1, LEVEL_L2, LEVEL_L3, LEVEL_MEM,
+                        LEVEL_PENDING, AccessResult, HierarchyConfig,
+                        HierarchyStats, MemoryHierarchy)
+from .main_memory import ChannelStats, MainMemory, MemoryChannel
+from .replacement import (FifoPolicy, LruPolicy, RandomPolicy,
+                          ReplacementPolicy, make_policy)
+
+__all__ = [
+    "CacheConfig", "CacheStats", "SetAssociativeCache", "LEVEL_L1",
+    "LEVEL_L2", "LEVEL_L3", "LEVEL_MEM", "LEVEL_PENDING", "AccessResult",
+    "HierarchyConfig", "HierarchyStats", "MemoryHierarchy", "ChannelStats",
+    "MainMemory", "MemoryChannel", "FifoPolicy", "LruPolicy", "RandomPolicy",
+    "ReplacementPolicy", "make_policy",
+]

@@ -1,0 +1,282 @@
+"""Three-level cache hierarchy with lazy fills and MSHR-style merging.
+
+The design decisions that the SPECRUN experiments depend on:
+
+* **Lazy fills.**  A miss to main memory registers a *pending fill*; the
+  line becomes probe-visible only at its completion cycle.  A runahead
+  prefetch issued at cycle T is therefore invisible to the attacker's
+  probe until T + memory latency — and `clflush` on an in-flight line
+  (Fig. 10 case ③) drops the fill while the stalling load still receives
+  its data, so runahead can re-enter.
+* **MSHR merging.**  A second access to an in-flight line does not issue a
+  new memory request; it simply waits for the existing completion.
+* **Hit-path fills are immediate.**  L2/L3 hits install the line into the
+  levels above right away; the tens-of-cycles visibility error this
+  introduces is irrelevant to every experiment, while the memory-path
+  laziness above is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .cache import CacheConfig, SetAssociativeCache
+from .main_memory import MemoryChannel
+
+LEVEL_L1 = "l1"
+LEVEL_L2 = "l2"
+LEVEL_L3 = "l3"
+LEVEL_MEM = "mem"
+LEVEL_PENDING = "pending"
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry per Table 1 of the paper (see ``paper()``)."""
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    l3: CacheConfig
+    mem_latency: int = 200
+    mem_occupancy: int = 8
+
+    @classmethod
+    def paper(cls):
+        """The exact Table-1 configuration."""
+        return cls(
+            l1i=CacheConfig("l1i", 16 * 1024, 4, latency=2),
+            l1d=CacheConfig("l1d", 16 * 1024, 4, latency=2),
+            l2=CacheConfig("l2", 128 * 1024, 8, latency=8),
+            l3=CacheConfig("l3", 4 * 1024 * 1024, 8, latency=32),
+            mem_latency=200,
+            mem_occupancy=8,
+        )
+
+    @classmethod
+    def small(cls, mem_latency=200, mem_occupancy=8):
+        """A scaled-down hierarchy for fast unit tests."""
+        return cls(
+            l1i=CacheConfig("l1i", 1024, 2, latency=2),
+            l1d=CacheConfig("l1d", 1024, 2, latency=2),
+            l2=CacheConfig("l2", 4 * 1024, 4, latency=8),
+            l3=CacheConfig("l3", 16 * 1024, 4, latency=32),
+            mem_latency=mem_latency,
+            mem_occupancy=mem_occupancy,
+        )
+
+    @property
+    def line_bytes(self):
+        return self.l1d.line_bytes
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency: int          # cycles from the access until data is available
+    level: str            # which level served it (LEVEL_* constant)
+    completion: int       # absolute cycle at which data is available
+    line: int             # block-aligned address
+    merged: bool = False  # True if this access merged into an in-flight fill
+
+    @property
+    def is_memory_level(self):
+        """True if the data had to come from main memory (runahead trigger)."""
+        return self.level in (LEVEL_MEM, LEVEL_PENDING)
+
+
+@dataclass
+class _PendingFill:
+    completion: int
+    fill_data: bool       # install into the data-side caches on completion
+    fill_inst: bool       # install into L1I on completion
+    dropped: bool = False # clflush arrived while in flight
+
+
+@dataclass
+class HierarchyStats:
+    data_accesses: int = 0
+    inst_accesses: int = 0
+    mem_requests: int = 0
+    merged_requests: int = 0
+    flushes: int = 0
+    dropped_fills: int = 0
+    prefetch_requests: int = 0
+
+
+class MemoryHierarchy:
+    """L1I/L1D + unified L2/L3 + main-memory channel."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig.paper()
+        self.l1i = SetAssociativeCache(self.config.l1i)
+        self.l1d = SetAssociativeCache(self.config.l1d)
+        self.l2 = SetAssociativeCache(self.config.l2)
+        self.l3 = SetAssociativeCache(self.config.l3)
+        self.channel = MemoryChannel(self.config.mem_latency,
+                                     self.config.mem_occupancy)
+        self._pending: Dict[int, _PendingFill] = {}
+        self.stats = HierarchyStats()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def line_of(self, addr):
+        return addr & ~(self.config.line_bytes - 1)
+
+    def apply_completed(self, now):
+        """Install every pending fill whose completion has passed."""
+        if not self._pending:
+            return
+        done = [line for line, p in self._pending.items() if p.completion <= now]
+        for line in done:
+            pending = self._pending.pop(line)
+            if pending.dropped:
+                continue
+            if pending.fill_data:
+                self.l3.fill(line)
+                self.l2.fill(line)
+                self.l1d.fill(line)
+            if pending.fill_inst:
+                self.l3.fill(line)
+                self.l2.fill(line)
+                self.l1i.fill(line)
+
+    def next_event(self):
+        """Earliest pending-fill completion, or None (for cycle skipping)."""
+        if not self._pending:
+            return None
+        return min(p.completion for p in self._pending.values())
+
+    # -- data path ----------------------------------------------------------------
+
+    def access_data(self, addr, now, *, fill=True, lru_update=True,
+                    prefetch=False):
+        """Access the data side; returns an :class:`AccessResult`.
+
+        ``fill=False`` lets the caller (the secure-runahead defense)
+        receive the data without installing the line into any cache level.
+        ``prefetch=True`` only affects statistics.
+        """
+        self.apply_completed(now)
+        line = self.line_of(addr)
+        self.stats.data_accesses += 1
+        if prefetch:
+            self.stats.prefetch_requests += 1
+
+        pending = self._pending.get(line)
+        if pending is not None and not pending.dropped:
+            # MSHR merge: wait on the in-flight fill.
+            self.stats.merged_requests += 1
+            if fill:
+                pending.fill_data = True
+            latency = max(1, pending.completion - now)
+            return AccessResult(latency, LEVEL_PENDING, now + latency, line,
+                                merged=True)
+
+        l1_latency = self.config.l1d.latency
+        if self.l1d.lookup(line, update=lru_update):
+            return AccessResult(l1_latency, LEVEL_L1, now + l1_latency, line)
+
+        l2_latency = l1_latency + self.config.l2.latency
+        if self.l2.lookup(line, update=lru_update):
+            if fill:
+                self.l1d.fill(line)
+            return AccessResult(l2_latency, LEVEL_L2, now + l2_latency, line)
+
+        l3_latency = l2_latency + self.config.l3.latency
+        if self.l3.lookup(line, update=lru_update):
+            if fill:
+                self.l2.fill(line)
+                self.l1d.fill(line)
+            return AccessResult(l3_latency, LEVEL_L3, now + l3_latency, line)
+
+        completion = self.channel.request(now) + l3_latency
+        self.stats.mem_requests += 1
+        self._pending[line] = _PendingFill(completion, fill_data=fill,
+                                           fill_inst=False)
+        return AccessResult(completion - now, LEVEL_MEM, completion, line)
+
+    # -- instruction path -----------------------------------------------------------
+
+    def access_inst(self, addr, now):
+        """Access the instruction side (L1I → L2 → L3 → memory)."""
+        self.apply_completed(now)
+        line = self.line_of(addr)
+        self.stats.inst_accesses += 1
+
+        pending = self._pending.get(line)
+        if pending is not None and not pending.dropped:
+            self.stats.merged_requests += 1
+            pending.fill_inst = True
+            latency = max(1, pending.completion - now)
+            return AccessResult(latency, LEVEL_PENDING, now + latency, line,
+                                merged=True)
+
+        l1_latency = self.config.l1i.latency
+        if self.l1i.lookup(line):
+            return AccessResult(l1_latency, LEVEL_L1, now + l1_latency, line)
+
+        l2_latency = l1_latency + self.config.l2.latency
+        if self.l2.lookup(line):
+            self.l1i.fill(line)
+            return AccessResult(l2_latency, LEVEL_L2, now + l2_latency, line)
+
+        l3_latency = l2_latency + self.config.l3.latency
+        if self.l3.lookup(line):
+            self.l2.fill(line)
+            self.l1i.fill(line)
+            return AccessResult(l3_latency, LEVEL_L3, now + l3_latency, line)
+
+        completion = self.channel.request(now) + l3_latency
+        self.stats.mem_requests += 1
+        self._pending[line] = _PendingFill(completion, fill_data=False,
+                                           fill_inst=True)
+        return AccessResult(completion - now, LEVEL_MEM, completion, line)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def flush_line(self, addr):
+        """``clflush``: evict from every level; drop any in-flight fill."""
+        line = self.line_of(addr)
+        self.stats.flushes += 1
+        self.l1d.invalidate(line)
+        self.l1i.invalidate(line)
+        self.l2.invalidate(line)
+        self.l3.invalidate(line)
+        pending = self._pending.get(line)
+        if pending is not None and not pending.dropped:
+            pending.dropped = True
+            self.stats.dropped_fills += 1
+
+    def warm(self, addr, level=LEVEL_L1, inst=False):
+        """Install a line directly (experiment setup, no timing charged)."""
+        line = self.line_of(addr)
+        self.l3.fill(line)
+        if level == LEVEL_L3:
+            return
+        self.l2.fill(line)
+        if level == LEVEL_L2:
+            return
+        (self.l1i if inst else self.l1d).fill(line)
+
+    def warm_range(self, start, size_bytes, level=LEVEL_L1):
+        """Warm every line in ``[start, start + size_bytes)``."""
+        line = self.line_of(start)
+        while line < start + size_bytes:
+            self.warm(line, level=level)
+            line += self.config.line_bytes
+
+    def present_in(self, addr, level):
+        """Presence probe for tests/analysis (no side effects)."""
+        line = self.line_of(addr)
+        cache = {LEVEL_L1: self.l1d, LEVEL_L2: self.l2, LEVEL_L3: self.l3}[level]
+        return cache.probe(line)
+
+    def reset(self):
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            cache.reset()
+        self.channel.reset()
+        self._pending.clear()
+        self.stats = HierarchyStats()

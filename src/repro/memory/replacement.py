@@ -1,0 +1,99 @@
+"""Cache replacement policies.
+
+Each policy operates on a per-set "way list": an :class:`OrderedDict`
+mapping tag to None, ordered from eviction candidate (front) to most
+protected (back).  Policies are stateless across sets except for the
+deterministic PRNG used by :class:`RandomPolicy` (the simulator must be
+reproducible, so no global randomness).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class ReplacementPolicy:
+    """Interface: decides ordering within one cache set."""
+
+    name = "base"
+
+    def on_hit(self, ways: OrderedDict, tag) -> None:
+        """Called when ``tag`` is re-referenced."""
+        raise NotImplementedError
+
+    def victim(self, ways: OrderedDict):
+        """Return the tag to evict from a full set."""
+        raise NotImplementedError
+
+    def on_fill(self, ways: OrderedDict, tag) -> None:
+        """Called after ``tag`` is inserted."""
+        ways[tag] = None
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: hits refresh recency; evict the oldest."""
+
+    name = "lru"
+
+    def on_hit(self, ways, tag):
+        ways.move_to_end(tag)
+
+    def victim(self, ways):
+        return next(iter(ways))
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: hits do not refresh; evict the oldest fill."""
+
+    name = "fifo"
+
+    def on_hit(self, ways, tag):
+        pass
+
+    def victim(self, ways):
+        return next(iter(ways))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Pseudo-random eviction from a deterministic 64-bit LCG."""
+
+    name = "random"
+
+    _MULT = 6364136223846793005
+    _INC = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed=1):
+        self._state = (seed or 1) & self._MASK
+
+    def _next(self, bound):
+        self._state = (self._state * self._MULT + self._INC) & self._MASK
+        return (self._state >> 33) % bound
+
+    def on_hit(self, ways, tag):
+        pass
+
+    def victim(self, ways):
+        index = self._next(len(ways))
+        for i, tag in enumerate(ways):
+            if i == index:
+                return tag
+        raise AssertionError("unreachable")
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name, seed=1):
+    """Instantiate a replacement policy by name ("lru", "fifo", "random")."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy: {name!r}") from None
+    if cls is RandomPolicy:
+        return cls(seed=seed)
+    return cls()

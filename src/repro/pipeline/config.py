@@ -1,0 +1,141 @@
+"""Core configuration (Table 1 of the paper).
+
+``CoreConfig.paper()`` reproduces Table 1 exactly:
+
+====================  =========================================================
+Component             Parameter
+====================  =========================================================
+Core                  2 GHz, out-of-order (frequency is irrelevant to cycles)
+Processor width       4-wide fetch/decode/dispatch/commit
+Pipeline depth        6 front-end stages
+Branch predictor      two-level adaptive predictor
+Functional units      4 int add (1 cy), 2 int mult (2 cy), 1 int div (5 cy),
+                      2 fp add (5 cy), 1 fp mult (10 cy), 1 fp div (15 cy)
+Register file         80 int, 40 fp, 40 xmm (physical)
+ROB                   256 entries
+Queues                IQ 40, load 40, store 40
+L1 I/D                16 KB, 4-way, 2 cycles
+L2                    128 KB, 8-way, 8 cycles
+L3                    4 MB, 8-way, 32 cycles
+Memory                request-based contention model, 200 cycles
+====================  =========================================================
+
+``CoreConfig.small()`` shrinks buffers and caches for fast unit tests while
+keeping every mechanism active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..isa.instructions import FuKind
+from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS
+from ..memory.hierarchy import HierarchyConfig
+
+#: Table-1 functional units: kind -> (unit count, latency in cycles).
+PAPER_FUNCTIONAL_UNITS: Dict[FuKind, Tuple[int, int]] = {
+    FuKind.INT_ALU: (4, 1),
+    FuKind.INT_MUL: (2, 2),
+    FuKind.INT_DIV: (1, 5),
+    FuKind.FP_ADD: (2, 5),
+    FuKind.FP_MUL: (1, 10),
+    FuKind.FP_DIV: (1, 15),
+    FuKind.MEM: (2, 1),      # two cache ports; latency comes from the caches
+    FuKind.BRANCH: (2, 1),
+    FuKind.NONE: (4, 1),
+}
+
+
+@dataclass(frozen=True)
+class RunaheadConfig:
+    """Tunables of the runahead machinery (shared by all variants)."""
+
+    #: Cycles of front-end stall charged when exiting runahead mode
+    #: (checkpoint restore + pipeline refill start).
+    exit_overhead: int = 4
+    #: Runahead-cache capacity in 8-byte entries (Mutlu'03 uses 512 B).
+    cache_entries: int = 64
+    #: Keep direction-predictor training performed during runahead
+    #: (the paper's and Mutlu's default; the PHT poisoning persists).
+    train_in_runahead: bool = True
+    #: Vector runahead: prefetch lanes issued per strided load.
+    vector_lanes: int = 8
+    #: Vector runahead: stride must repeat this many times to be trusted.
+    stride_confidence: int = 2
+    #: Secure runahead: SL-cache capacity in lines.
+    sl_cache_entries: int = 64
+    #: Secure runahead: SL-cache hit latency upon promotion to L1.
+    sl_cache_latency: int = 3
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """All sizing/latency parameters of the out-of-order core."""
+
+    width: int = 4                 # fetch/decode/dispatch/commit width
+    issue_width: int = 4
+    frontend_depth: int = 6        # fetch-to-dispatch latency in cycles
+    fetch_queue: int = 24
+    rob_size: int = 256
+    iq_size: int = 40
+    lq_size: int = 40
+    sq_size: int = 40
+    int_regs: int = 80             # physical registers (Table 1)
+    fp_regs: int = 40
+    vec_regs: int = 40
+    functional_units: Dict[FuKind, Tuple[int, int]] = field(
+        default_factory=lambda: dict(PAPER_FUNCTIONAL_UNITS))
+    predictor: str = "twolevel"
+    rsb_entries: int = 16
+    btb_index_bits: int = 10
+    btb_tag_bits: int = 0
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig.paper)
+    runahead: RunaheadConfig = field(default_factory=RunaheadConfig)
+
+    def __post_init__(self):
+        if self.int_regs < NUM_INT_REGS or self.fp_regs < NUM_FP_REGS or \
+                self.vec_regs < NUM_VEC_REGS:
+            raise ValueError(
+                "physical register files must cover the architectural state")
+        if self.width <= 0 or self.rob_size <= 0:
+            raise ValueError("width and rob_size must be positive")
+
+    @property
+    def rename_int(self):
+        """Rename (non-architectural) integer registers available."""
+        return self.int_regs - NUM_INT_REGS
+
+    @property
+    def rename_fp(self):
+        return self.fp_regs - NUM_FP_REGS
+
+    @property
+    def rename_vec(self):
+        return self.vec_regs - NUM_VEC_REGS
+
+    @classmethod
+    def paper(cls, **overrides):
+        """The exact Table-1 machine."""
+        return cls(**overrides)
+
+    @classmethod
+    def small(cls, **overrides):
+        """Scaled-down machine for fast tests (all mechanisms active)."""
+        params = dict(
+            rob_size=32,
+            iq_size=12,
+            lq_size=8,
+            sq_size=8,
+            fetch_queue=12,
+            int_regs=NUM_INT_REGS + 16,
+            fp_regs=NUM_FP_REGS + 8,
+            vec_regs=NUM_VEC_REGS + 8,
+            hierarchy=HierarchyConfig.small(),
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def with_overrides(self, **overrides):
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)

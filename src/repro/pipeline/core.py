@@ -1,0 +1,997 @@
+"""Cycle-level out-of-order core with pluggable runahead execution.
+
+The machine is a value-based Tomasulo+ROB design (see ``rob.py``) staged
+as fetch → (6-cycle front end) → dispatch → issue/execute → complete →
+commit, processed in reverse order each cycle so results flow with
+realistic timing.  Runahead mode (the paper's Fig. 6) changes three
+things, all implemented here with policy delegated to the attached
+:class:`~repro.runahead.base.RunaheadController`:
+
+* the stalling load's destination is poisoned (INV) and the load
+  pseudo-retires immediately, unblocking the window;
+* commit becomes *pseudo-retire*: results update the (checkpointed)
+  register file, stores go to the runahead cache, nothing reaches
+  architectural memory;
+* branches with INV sources are predicted but **never resolved** — the
+  SPECRUN attack surface — while valid branches resolve as in normal
+  mode.
+
+On exit the checkpoint is restored and fetch resumes at the stalling
+load.  The only surviving side effects are cache fills.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from ..branch.btb import BranchTargetBuffer
+from ..branch.predictors import make_direction_predictor
+from ..branch.rsb import ReturnStackBuffer
+from ..branch.unit import BranchUnit
+from ..isa.instructions import (INSTR_BYTES, WORD_BYTES, FuKind, Opcode,
+                                eval_branch, eval_int_alu, to_signed64,
+                                to_unsigned64)
+from ..isa.program import Program
+from ..isa.registers import (FP_CLASS, INT_CLASS, NUM_ARCH_REGS, REG_SP,
+                             REG_ZERO, VEC_CLASS, make_register_file,
+                             reg_class)
+from ..memory.hierarchy import (LEVEL_L1, LEVEL_MEM, LEVEL_PENDING,
+                                MemoryHierarchy)
+from ..memory.main_memory import MainMemory
+from ..runahead.base import NoRunahead, RunaheadController
+from ..runahead.checkpoint import Checkpoint
+from ..runahead.runahead_cache import RunaheadCache
+from .config import CoreConfig
+from .functional_units import FunctionalUnitPool
+from .rob import DISPATCHED, DONE, ISSUED, ReorderBuffer, RobEntry
+from .stats import CoreStats
+
+MODE_NORMAL = "normal"
+MODE_RUNAHEAD = "runahead"
+
+#: Pseudo-levels recorded on load entries.
+LEVEL_FORWARD = "fwd"     # store-to-load forwarding
+LEVEL_RUNAHEAD = "rac"    # runahead-cache hit
+LEVEL_SL = "sl"           # SL-cache hit (secure runahead)
+
+_RENAME_CLASS = {INT_CLASS: "int", FP_CLASS: "fp", VEC_CLASS: "vec"}
+
+
+class SimulationError(RuntimeError):
+    """Raised on internal inconsistencies (never on wrong-path garbage)."""
+
+
+class _Fetched:
+    """One front-end slot: instruction plus fetch-time prediction."""
+
+    __slots__ = ("pc", "instr", "prediction", "ready_cycle")
+
+    def __init__(self, pc, instr, prediction, ready_cycle):
+        self.pc = pc
+        self.instr = instr
+        self.prediction = prediction
+        self.ready_cycle = ready_cycle
+
+
+class Core:
+    """The simulated processor."""
+
+    def __init__(self, program: Program, memory_image=None,
+                 config: Optional[CoreConfig] = None,
+                 runahead: Optional[RunaheadController] = None,
+                 initial_sp: Optional[int] = None, warm_icache=False):
+        self.program = program
+        self.config = config or CoreConfig.paper()
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        if warm_icache:
+            # Steady-state assumption for micro-timing experiments: the
+            # code is hot (a real attacker's loop would have warmed it).
+            self.hierarchy.warm_range(0, max(program.end_pc, INSTR_BYTES))
+            line = 0
+            while line < program.end_pc:
+                self.hierarchy.l1i.fill(line)
+                line += self.config.hierarchy.line_bytes
+        self.memory = MainMemory(memory_image)
+        self.branch_unit = BranchUnit(
+            direction=make_direction_predictor(self.config.predictor),
+            btb=BranchTargetBuffer(self.config.btb_index_bits,
+                                   self.config.btb_tag_bits),
+            rsb=ReturnStackBuffer(self.config.rsb_entries))
+        self.rob = ReorderBuffer(self.config.rob_size)
+        self.fus = FunctionalUnitPool(self.config.functional_units)
+
+        self.arch_regs = make_register_file()
+        if initial_sp is not None:
+            self.arch_regs[REG_SP] = to_unsigned64(initial_sp)
+        self.arch_inv = [False] * NUM_ARCH_REGS
+        self.rat: List[Optional[RobEntry]] = [None] * NUM_ARCH_REGS
+        self._rename_free = {"int": self.config.rename_int,
+                             "fp": self.config.rename_fp,
+                             "vec": self.config.rename_vec}
+
+        self.iq: List[RobEntry] = []
+        self.lq: List[RobEntry] = []
+        self.sq: List[RobEntry] = []
+        self.frontend: List[_Fetched] = []
+        self.fetch_pc = 0
+        self.fetch_stall_until = 0
+        self.fetch_halted = False
+        self._last_inst_line = None
+
+        self.cycle = 0
+        self.seq = 0
+        self.mode = MODE_NORMAL
+        self.halted = False
+        self.checkpoint: Optional[Checkpoint] = None
+        self.runahead = runahead or NoRunahead()
+        self.runahead.attach(self)
+        self.runahead_cache = RunaheadCache(self.config.runahead.cache_entries)
+
+        self.stats = CoreStats()
+        self._completions = []      # heap of (completion, seq, entry)
+        self._activity = False
+        # Transient-window tracking (Fig. 10): base seq of the current
+        # memory-stall episode and the deepest younger dispatch seen.
+        self._stall_base_seq = None
+        self._window_max = 0
+
+    # ------------------------------------------------------------------ utils --
+
+    def reg_read(self, reg):
+        """Architectural read honouring the zero register and INV bits."""
+        if reg == REG_ZERO:
+            return 0, False
+        return self.arch_regs[reg], self.arch_inv[reg]
+
+    def _operand(self, entry, index):
+        """Read source ``index`` of ``entry``: (value, inv)."""
+        producer = entry.src_producers[index]
+        reg = entry.instr.srcs[index]
+        if producer is None:
+            return self.reg_read(reg)
+        return producer.value, producer.inv
+
+    def _operand_ready(self, entry):
+        for producer in entry.src_producers:
+            if producer is not None and producer.state != DONE:
+                return False
+        return True
+
+    def _counts_rename(self, instr):
+        dest = instr.dest
+        if dest is None or dest == REG_ZERO:
+            return None
+        return _RENAME_CLASS[reg_class(dest)]
+
+    @property
+    def transient_window_max(self):
+        return self._window_max
+
+    # ------------------------------------------------------------------- step --
+
+    def step(self):
+        """Advance one cycle."""
+        now = self.cycle
+        self._activity = False
+        self.hierarchy.apply_completed(now)
+        self.fus.new_cycle(now)
+
+        if self.mode == MODE_RUNAHEAD and self.runahead.should_exit(self, now):
+            self._exit_runahead(now)
+
+        self._commit(now)
+        if self.halted:
+            self.stats.cycles = self.cycle + 1
+            return
+        self._complete(now)
+        self._issue(now)
+        self._dispatch(now)
+        self._fetch(now)
+        self.cycle = now + 1
+
+    def run(self, max_cycles=5_000_000):
+        """Run to HALT (or quiescence/ceiling); returns the stats object."""
+        while not self.halted and self.cycle < max_cycles:
+            self.step()
+            if not self._activity and not self.halted:
+                skip_to = self._next_event()
+                if skip_to is None:
+                    break                      # quiescent: nothing can happen
+                if skip_to > self.cycle:
+                    self.cycle = skip_to
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def _next_event(self):
+        """Earliest future cycle at which anything can change."""
+        candidates = []
+        while self._completions and self._completions[0][2].squashed:
+            heapq.heappop(self._completions)
+        if self._completions:
+            candidates.append(self._completions[0][0])
+        event = self.hierarchy.next_event()
+        if event is not None:
+            candidates.append(event)
+        if self.frontend:
+            candidates.append(self.frontend[0].ready_cycle)
+        if not self.fetch_halted and self.fetch_stall_until >= self.cycle:
+            # A fetch stall lifting exactly at the current cycle must still
+            # be a wake-up source, else a skip jumps over the resume point.
+            candidates.append(max(self.fetch_stall_until, self.cycle + 1))
+        if self.mode == MODE_RUNAHEAD and self.checkpoint is not None:
+            candidates.append(self.checkpoint.stalling_completion)
+        if not candidates:
+            return None
+        return max(min(candidates), self.cycle + 1)
+
+    # ----------------------------------------------------------------- commit --
+
+    def _commit(self, now):
+        committed = 0
+        while committed < self.config.width:
+            head = self.rob.head()
+            if head is None:
+                break
+            if head.state != DONE:
+                if self.mode == MODE_NORMAL:
+                    self._maybe_enter_runahead(head, now)
+                    if self.mode == MODE_RUNAHEAD:
+                        continue       # head was poisoned; pseudo-retire it
+                elif self._poison_stalled_head(head):
+                    continue           # runahead never stalls on misses
+                break
+            if self.mode == MODE_RUNAHEAD:
+                self._pseudo_retire(head, now)
+                committed += 1
+                continue
+            self._commit_one(head, now)
+            committed += 1
+            if self.halted:
+                break
+        if committed:
+            self._activity = True
+
+    def _commit_one(self, head, now):
+        instr = head.instr
+        opcode = instr.opcode
+        if opcode is Opcode.HALT:
+            self.halted = True
+            self._retire_entry(head)
+            self.stats.committed += 1
+            return
+        if head.is_store and head.mem_addr is not None:
+            if instr.opcode is Opcode.VSTORE:
+                lanes = head.store_value
+                self.memory.write_word(head.mem_addr, lanes[0])
+                self.memory.write_word(head.mem_addr + WORD_BYTES, lanes[1])
+            else:
+                self.memory.write_word(head.mem_addr, head.store_value)
+            # Write-allocate at commit; latency absorbed by a write buffer.
+            self.hierarchy.access_data(head.mem_addr, now)
+        dest = instr.dest
+        if dest is not None and dest != REG_ZERO:
+            self.arch_regs[dest] = head.value
+            self.arch_inv[dest] = False
+        self._retire_entry(head)
+        self.stats.committed += 1
+        # End of a stall episode once the stalling load itself commits.
+        if self._stall_base_seq is not None and head.is_load:
+            self._stall_base_seq = None
+
+    def _pseudo_retire(self, head, now):
+        """Runahead-mode commit: update the checkpointed state, never memory."""
+        instr = head.instr
+        dest = instr.dest
+        if head.is_store:
+            if head.mem_addr is not None:
+                self.runahead_cache.write(head.mem_addr, head.store_value,
+                                          inv=head.inv)
+        if dest is not None and dest != REG_ZERO:
+            self.arch_regs[dest] = head.value if not head.inv else 0
+            self.arch_inv[dest] = head.inv
+        self.runahead.on_pseudo_retire(self, head)
+        self._retire_entry(head)
+        self.stats.pseudo_retired += 1
+        self.stats.transient_executed += 1
+
+    def _retire_entry(self, head):
+        """Pop the head and release its resources."""
+        self.rob.pop_head()
+        rename = self._counts_rename(head.instr)
+        if rename is not None:
+            self._rename_free[rename] += 1
+        dest = head.instr.dest
+        if dest is not None and self.rat[dest] is head:
+            self.rat[dest] = None
+        if head.is_load and head in self.lq:
+            self.lq.remove(head)
+        if head.is_store and head in self.sq:
+            self.sq.remove(head)
+
+    def _poison_stalled_head(self, head):
+        """Runahead mode: a memory-level load at the head is INV'd and
+        pseudo-retired instead of blocking — its miss continues as a
+        prefetch (Mutlu'03)."""
+        if not (head.is_load and head.state == ISSUED and
+                head.mem_level in (LEVEL_MEM, LEVEL_PENDING)):
+            return False
+        head.state = DONE
+        head.inv = True
+        if head.instr.opcode is Opcode.RET:
+            head.inv = False
+            head.actual_target = None
+            self.stats.inv_branches += 1
+            self.runahead.on_inv_branch(self, head)
+        self.stats.runahead_prefetches += 1
+        return True
+
+    # -------------------------------------------------------- runahead entry/exit --
+
+    def _maybe_enter_runahead(self, head, now):
+        """Check the Fig. 6 trigger: memory-level load stalled at ROB head."""
+        if not (head.is_load and head.state == ISSUED and
+                head.mem_level in (LEVEL_MEM, LEVEL_PENDING)):
+            return
+        # Track the transient window for Fig. 10 even without runahead.
+        if self._stall_base_seq is None:
+            self._stall_base_seq = head.seq
+        if not self.runahead.should_enter(self, head):
+            return
+        self.checkpoint = Checkpoint(
+            arch_regs=list(self.arch_regs),
+            branch_snapshot=self.branch_unit.snapshot(),
+            stalling_pc=head.pc,
+            stalling_line=self.hierarchy.line_of(head.mem_addr or 0),
+            stalling_completion=head.completion,
+            entry_cycle=now,
+        )
+        self.mode = MODE_RUNAHEAD
+        self.stats.runahead_episodes += 1
+        # Poison the stalling load: its result is INV, and it pseudo-retires
+        # immediately, converting the blocked window into a running one.
+        head.inv = True
+        head.state = DONE
+        self.runahead.on_enter(self)
+        if head.instr.opcode is Opcode.RET:
+            # The stack-pointer update is valid; only the return target is
+            # unknown, leaving the RSB prediction unresolvable (Fig. 4c).
+            head.inv = False
+            head.actual_target = None
+            self.stats.inv_branches += 1
+            self.runahead.on_inv_branch(self, head)
+
+    def _exit_runahead(self, now):
+        checkpoint = self.checkpoint
+        self.runahead.on_exit(self)
+        victims = self.rob.clear()
+        for victim in victims:
+            if victim.state != DISPATCHED:
+                self.stats.transient_executed += 1
+        self.stats.squashed += len(victims)
+        self.iq.clear()
+        self.lq.clear()
+        self.sq.clear()
+        self.frontend.clear()
+        self._completions = []
+        self.arch_regs = list(checkpoint.arch_regs)
+        self.arch_inv = [False] * NUM_ARCH_REGS
+        self.rat = [None] * NUM_ARCH_REGS
+        self._rename_free = {"int": self.config.rename_int,
+                             "fp": self.config.rename_fp,
+                             "vec": self.config.rename_vec}
+        self.branch_unit.restore(checkpoint.branch_snapshot)
+        self.runahead_cache.clear()
+        self.fetch_pc = checkpoint.stalling_pc
+        self.fetch_halted = False
+        self.fetch_stall_until = now + self.config.runahead.exit_overhead
+        self._last_inst_line = None
+        self.mode = MODE_NORMAL
+        self.checkpoint = None
+        self.stats.runahead_cycles += now - checkpoint.entry_cycle
+        self._stall_base_seq = None
+        self._activity = True
+
+    def extend_stall(self, completion):
+        """Push the runahead exit later (stalling line was flushed in
+        flight and must be re-fetched from memory — Fig. 10 case ③)."""
+        if self.checkpoint is not None and \
+                completion > self.checkpoint.stalling_completion:
+            self.checkpoint.stalling_completion = completion
+
+    # ---------------------------------------------------------------- complete --
+
+    def _complete(self, now):
+        while self._completions and self._completions[0][0] <= now:
+            _, _, entry = heapq.heappop(self._completions)
+            if entry.squashed or entry.state != ISSUED:
+                continue
+            entry.state = DONE
+            self._activity = True
+            if entry.is_branch and not entry.resolved:
+                self._resolve_branch(entry, now)
+                if self.halted:
+                    return
+
+    def _resolve_branch(self, entry, now):
+        instr = entry.instr
+        unresolvable = entry.inv or entry.actual_target is None and \
+            instr.opcode in (Opcode.RET, Opcode.JR)
+        if self.mode == MODE_RUNAHEAD and unresolvable:
+            # The SPECRUN vulnerability: an INV-source branch is predicted
+            # but never resolved — the prediction stands for the whole
+            # runahead interval (paper §2.1, §4.2 step 3).  Mitigations
+            # may override on_inv_branch to skip the branch instead.
+            self.stats.inv_branches += 1
+            entry.resolved = False
+            self.runahead.on_inv_branch(self, entry)
+            return
+        if entry.inv:
+            # INV branch outside runahead mode cannot happen (INV bits only
+            # exist in runahead mode).
+            raise SimulationError("INV branch in normal mode")
+        entry.resolved = True
+        train = self.mode == MODE_NORMAL or \
+            self.config.runahead.train_in_runahead
+        mispredicted = self.branch_unit.resolve(
+            entry.pc, instr, entry.actual_taken, entry.actual_target,
+            entry.prediction, train=train)
+        self.runahead.on_branch_resolved(self, entry, mispredicted)
+        if not mispredicted:
+            return
+        self.stats.branch_mispredicts += 1
+        self._recover_from_branch(entry, now)
+
+    def _squash_younger(self, entry):
+        """Remove everything younger than ``entry`` and clean bookkeeping."""
+        victims = self.rob.squash_younger(entry.seq)
+        for victim in victims:
+            if victim.state != DISPATCHED:
+                self.stats.transient_executed += 1
+            rename = self._counts_rename(victim.instr)
+            if rename is not None:
+                self._rename_free[rename] += 1
+        self.stats.squashed += len(victims)
+        if victims:
+            self.iq = [e for e in self.iq if not e.squashed]
+            self.lq = [e for e in self.lq if not e.squashed]
+            self.sq = [e for e in self.sq if not e.squashed]
+        # Rebuild the alias table from the surviving entries.
+        self.rat = [None] * NUM_ARCH_REGS
+        for survivor in self.rob:
+            dest = survivor.instr.dest
+            if dest is not None and dest != REG_ZERO:
+                self.rat[dest] = survivor
+        self.frontend.clear()
+
+    def _recover_from_branch(self, entry, now):
+        """Squash the wrong path and redirect fetch."""
+        self.branch_unit.restore(entry.prediction.snapshot)
+        self.branch_unit.reapply(entry.pc, entry.instr, entry.actual_taken)
+        self._squash_younger(entry)
+        target = entry.actual_target if entry.actual_taken \
+            else entry.pc + INSTR_BYTES
+        self.fetch_pc = target
+        self.fetch_halted = False
+        self.fetch_stall_until = now + 1
+        self._last_inst_line = None
+        self._activity = True
+
+    def force_branch_outcome(self, entry, taken, target):
+        """Mitigation hook: steer an unresolvable branch to a fixed
+        outcome (squash its speculative path and redirect fetch)."""
+        entry.actual_taken = taken
+        entry.actual_target = target
+        entry.resolved = True
+        self._recover_from_branch(entry, self.cycle)
+
+    def stop_runahead_fetch(self, entry=None):
+        """Mitigation hook: kill the speculative path of an unresolvable
+        branch and stop fetching for the rest of the runahead interval
+        (exit resets fetch state)."""
+        if entry is not None:
+            self.branch_unit.restore(entry.prediction.snapshot)
+            self._squash_younger(entry)
+        self.fetch_halted = True
+
+    # ------------------------------------------------------------------- issue --
+
+    def _issue(self, now):
+        issued = 0
+        for entry in list(self.iq):
+            if issued >= self.config.issue_width:
+                break
+            if entry.squashed or entry.state != DISPATCHED:
+                self.iq.remove(entry)
+                continue
+            if not self._operand_ready(entry):
+                continue
+            if not self._try_issue(entry, now):
+                continue
+            self.iq.remove(entry)
+            entry.state = ISSUED
+            entry.issue_cycle = now
+            heapq.heappush(self._completions,
+                           (entry.completion, entry.seq, entry))
+            issued += 1
+            self.stats.issued += 1
+            self._activity = True
+
+    def _try_issue(self, entry, now):
+        """Execute ``entry`` if resources allow; sets value/completion."""
+        instr = entry.instr
+        opcode = instr.opcode
+        fu = instr.fu
+
+        # INV-source instructions consume no functional unit (they are
+        # dropped into a 1-cycle INV move, per Mutlu'03).
+        if self.mode == MODE_RUNAHEAD and not entry.filtered:
+            if any(self._operand(entry, i)[1]
+                   for i in range(len(instr.srcs))):
+                return self._issue_inv(entry, now)
+
+        if fu is FuKind.MEM:
+            return self._issue_mem(entry, now)
+        if fu is FuKind.BRANCH:
+            return self._issue_branch(entry, now)
+
+        if not self.fus.can_issue(fu):
+            return False
+        latency = self.fus.issue(fu)
+        entry.completion = now + latency
+        entry.value = self._execute_alu(entry)
+        return True
+
+    def _issue_inv(self, entry, now):
+        """Poisoned instruction: propagate INV in one cycle, no FU."""
+        entry.inv = True
+        self.stats.inv_instructions += 1
+        instr = entry.instr
+        if instr.opcode in (Opcode.CALL, Opcode.RET):
+            entry.value = 0
+            entry.actual_target = None
+        elif instr.is_store():
+            entry.mem_addr = None
+        entry.value = entry.value if entry.value is not None else 0
+        entry.completion = now + 1
+        return True
+
+    def _execute_alu(self, entry):
+        """Evaluate a non-memory, non-branch instruction."""
+        instr = entry.instr
+        opcode = instr.opcode
+        if opcode is Opcode.NOP or opcode is Opcode.FENCE or \
+                opcode is Opcode.HALT:
+            return None
+        if opcode is Opcode.RDTSC:
+            return self.cycle
+        values = [self._operand(entry, i)[0]
+                  for i in range(len(instr.srcs))]
+        if opcode in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+            a, b = float(values[0]), float(values[1])
+            if opcode is Opcode.FADD:
+                return a + b
+            if opcode is Opcode.FSUB:
+                return a - b
+            if opcode is Opcode.FMUL:
+                return a * b
+            return a / b if b else float("inf")
+        if opcode is Opcode.FCVT:
+            return float(to_signed64(_as_int(values[0])))
+        if opcode is Opcode.FMOV:
+            return float(values[0])
+        if opcode in (Opcode.VADD, Opcode.VMUL):
+            a, b = _as_vec(values[0]), _as_vec(values[1])
+            if opcode is Opcode.VADD:
+                return (to_unsigned64(a[0] + b[0]),
+                        to_unsigned64(a[1] + b[1]))
+            return (to_unsigned64(a[0] * b[0]), to_unsigned64(a[1] * b[1]))
+        if opcode is Opcode.VSPLAT:
+            value = _as_int(values[0])
+            return (value, value)
+        if opcode is Opcode.VEXTRACT:
+            return _as_vec(values[0])[instr.imm & 1]
+        a = _as_int(values[0]) if values else 0
+        b = _as_int(values[1]) if len(values) > 1 else None
+        return eval_int_alu(opcode, a, b, instr.imm)
+
+    # -- branches -------------------------------------------------------------------
+
+    def _issue_branch(self, entry, now):
+        instr = entry.instr
+        opcode = instr.opcode
+        if not self.fus.can_issue(FuKind.BRANCH):
+            return False
+
+        if opcode is Opcode.CALL:
+            return self._issue_call(entry, now)
+        if opcode is Opcode.RET:
+            return self._issue_ret(entry, now)
+
+        self.fus.issue(FuKind.BRANCH)
+        if instr.is_conditional_branch():
+            a = _as_int(self._operand(entry, 0)[0])
+            b = _as_int(self._operand(entry, 1)[0])
+            entry.actual_taken = eval_branch(opcode, a, b)
+            entry.actual_target = instr.target if entry.actual_taken \
+                else entry.pc + INSTR_BYTES
+        elif opcode is Opcode.JMP:
+            entry.actual_taken = True
+            entry.actual_target = instr.target
+        elif opcode is Opcode.JR:
+            entry.actual_taken = True
+            entry.actual_target = _as_int(self._operand(entry, 0)[0]) & ~3
+        entry.completion = now + 1
+        entry.value = None
+        return True
+
+    def _issue_call(self, entry, now):
+        """call = push return address (store) + direct jump."""
+        if not self._stores_ready_before(entry):
+            return False
+        self.fus.issue(FuKind.BRANCH)
+        sp, _ = self._operand(entry, 0)
+        new_sp = to_unsigned64(_as_int(sp) - WORD_BYTES)
+        entry.mem_addr = new_sp & ~(WORD_BYTES - 1)
+        entry.store_value = entry.pc + INSTR_BYTES
+        entry.value = new_sp
+        entry.actual_taken = True
+        entry.actual_target = entry.instr.target
+        entry.completion = now + 1
+        return True
+
+    def _issue_ret(self, entry, now):
+        """ret = pop return address (load) + indirect jump."""
+        sp, _ = self._operand(entry, 0)
+        addr = _as_int(sp) & ~(WORD_BYTES - 1)
+        outcome = self._load_value(entry, addr, now, as_type="int")
+        if outcome is None:
+            return False
+        value, completion, poisoned = outcome
+        entry.value = to_unsigned64(_as_int(sp) + WORD_BYTES)
+        entry.actual_taken = True
+        entry.actual_target = None if poisoned else value & ~3
+        entry.completion = completion
+        return True
+
+    # -- memory ------------------------------------------------------------------------
+
+    def _issue_mem(self, entry, now):
+        instr = entry.instr
+        opcode = instr.opcode
+        if not self.fus.can_issue(FuKind.MEM):
+            return False
+
+        if opcode is Opcode.CLFLUSH:
+            base, _ = self._operand(entry, 0)
+            addr = to_unsigned64(_as_int(base) + instr.imm)
+            self.fus.issue(FuKind.MEM)
+            self.hierarchy.flush_line(addr)
+            if self.mode == MODE_RUNAHEAD and self.checkpoint is not None \
+                    and self.hierarchy.line_of(addr) == \
+                    self.checkpoint.stalling_line:
+                # Flushing the stalling line drops its in-flight fill; the
+                # data must be re-fetched, prolonging runahead (Fig. 10 ③).
+                refetch = self.hierarchy.access_data(addr, now, prefetch=True)
+                self.extend_stall(refetch.completion)
+            entry.completion = now + 1
+            return True
+
+        if instr.is_store():
+            if len(self.sq) > self.config.sq_size:
+                raise SimulationError("store queue overflow")
+            value, _ = self._operand(entry, 0)
+            base, _ = self._operand(entry, 1)
+            addr = to_unsigned64(_as_int(base) + instr.imm) & \
+                ~(WORD_BYTES - 1)
+            self.fus.issue(FuKind.MEM)
+            entry.mem_addr = addr
+            entry.store_value = _typed_store_value(opcode, value)
+            entry.completion = now + 1
+            return True
+
+        # Loads.
+        base, _ = self._operand(entry, 0)
+        addr = to_unsigned64(_as_int(base) + instr.imm) & ~(WORD_BYTES - 1)
+        as_type = {"load": "int", "fload": "float", "vload": "vec"}[
+            opcode.value]
+        outcome = self._load_value(entry, addr, now, as_type=as_type)
+        if outcome is None:
+            return False
+        value, completion, poisoned = outcome
+        entry.value = value
+        entry.inv = entry.inv or poisoned
+        entry.completion = completion
+        return True
+
+    def _stores_ready_before(self, entry):
+        """Conservative disambiguation: every older store has its address."""
+        for store in self.sq:
+            if store.seq >= entry.seq:
+                break
+            if store.state == DISPATCHED:
+                return False
+        return True
+
+    @staticmethod
+    def _store_covers(store, addr):
+        """True if ``store`` writes the word at ``addr``."""
+        if store.mem_addr is None:
+            return False
+        if store.instr.opcode is Opcode.VSTORE:
+            return addr in (store.mem_addr, store.mem_addr + WORD_BYTES)
+        return addr == store.mem_addr
+
+    def _forward_from_store(self, entry, addr):
+        """Youngest older store covering the same word, if any."""
+        best = None
+        for store in self.sq:
+            if store.seq >= entry.seq:
+                break
+            if self._store_covers(store, addr):
+                best = store
+        return best
+
+    def _forwarded_value(self, store, addr, as_type):
+        value = store.store_value
+        if store.instr.opcode is Opcode.VSTORE:
+            value = value[1] if addr == store.mem_addr + WORD_BYTES \
+                else value[0]
+        return _typed_load_value(as_type, value)
+
+    def _load_value(self, entry, addr, now, as_type):
+        """Common load path (loads and ret).
+
+        Returns ``(value, completion, poisoned)`` or None if the load
+        cannot issue yet.  Claims the MEM port on success.
+        """
+        if not self.fus.can_issue(FuKind.MEM):
+            return None
+        if not self._stores_ready_before(entry):
+            return None
+        entry.mem_addr = addr
+
+        if as_type == "vec":
+            # A vector load overlapping any in-flight store waits for the
+            # store to drain (conservative; avoids partial forwarding).
+            for store in self.sq:
+                if store.seq >= entry.seq:
+                    break
+                if self._store_covers(store, addr) or \
+                        self._store_covers(store, addr + WORD_BYTES):
+                    return None
+        else:
+            store = self._forward_from_store(entry, addr)
+            if store is not None:
+                self.fus.issue(FuKind.MEM)
+                entry.mem_level = LEVEL_FORWARD
+                if store.inv:
+                    return 0, now + 1, True
+                return self._forwarded_value(store, addr, as_type), \
+                    now + 1, False
+
+        if self.mode == MODE_RUNAHEAD:
+            cached = self.runahead_cache.read(addr)
+            if cached is not None:
+                self.fus.issue(FuKind.MEM)
+                entry.mem_level = LEVEL_RUNAHEAD
+                value, inv = cached
+                latency = self.config.hierarchy.l1d.latency
+                if inv:
+                    return 0, now + latency, True
+                return _typed_load_value(as_type, value), now + latency, False
+            override = self.runahead.runahead_load_override(self, entry,
+                                                            addr, now)
+            if override is not None:
+                self.fus.issue(FuKind.MEM)
+                entry.mem_level = LEVEL_SL
+                value = self._read_memory_word(addr, as_type)
+                return value, now + override, False
+
+        if self.mode == MODE_NORMAL:
+            override = self.runahead.normal_load_override(self, entry, addr,
+                                                          now)
+            if override is not None:
+                if override is BLOCKED:
+                    return None
+                self.fus.issue(FuKind.MEM)
+                entry.mem_level = LEVEL_SL
+                value = self._read_memory_word(addr, as_type)
+                return value, now + override, False
+
+        self.fus.issue(FuKind.MEM)
+        fill = True
+        if self.mode == MODE_RUNAHEAD:
+            fill = self.runahead.runahead_load_fill(self, entry)
+        result = self.hierarchy.access_data(
+            addr, now, fill=fill, prefetch=self.mode == MODE_RUNAHEAD)
+        entry.mem_level = result.level
+
+        if self.mode == MODE_RUNAHEAD:
+            self.runahead.on_runahead_load(self, entry, result)
+            if result.is_memory_level:
+                # Mutlu'03: runahead loads that miss to memory launch the
+                # prefetch but return INV without waiting.
+                self.stats.runahead_prefetches += 1
+                latency = self.config.hierarchy.l1d.latency
+                return 0, now + latency, True
+        else:
+            self.runahead.on_normal_load(self, entry, result)
+
+        value = self._read_memory_word(addr, as_type)
+        return value, now + result.latency, False
+
+    def _read_memory_word(self, addr, as_type):
+        word = self.memory.read_word(addr)
+        if as_type == "vec":
+            second = self.memory.read_word(addr + WORD_BYTES)
+            return (_as_int(word), _as_int(second))
+        if as_type == "float":
+            return float(word)
+        return _as_int(word)
+
+    # ---------------------------------------------------------------- dispatch --
+
+    def _dispatch(self, now):
+        dispatched = 0
+        while dispatched < self.config.width and self.frontend:
+            slot = self.frontend[0]
+            if slot.ready_cycle > now:
+                break
+            instr = slot.instr
+            opcode = instr.opcode
+
+            if opcode is Opcode.FENCE and (not self.rob.empty or
+                                           self.mode == MODE_RUNAHEAD):
+                # A fence waits for all older loads — including, in
+                # runahead mode, the stalling load itself, which by
+                # definition completes only at exit: runahead cannot
+                # pseudo-retire past a serialization point.
+                self.stats.fence_stalls += 1
+                break
+            if self.rob.full:
+                break
+            rename = self._counts_rename(instr)
+            if rename is not None and self._rename_free[rename] <= 0:
+                break
+            is_load = instr.is_load() or opcode is Opcode.RET
+            is_store = instr.is_store() or opcode is Opcode.CALL
+            if is_load and len(self.lq) >= self.config.lq_size:
+                break
+            if is_store and len(self.sq) >= self.config.sq_size:
+                break
+            immediate = opcode in (Opcode.NOP, Opcode.HALT, Opcode.FENCE)
+            if not immediate and len(self.iq) >= self.config.iq_size:
+                break
+
+            self.frontend.pop(0)
+            self.seq += 1
+            entry = RobEntry(self.seq, slot.pc, instr)
+            entry.prediction = slot.prediction
+            entry.src_producers = tuple(self.rat[s] for s in instr.srcs)
+            entry.is_fence = opcode is Opcode.FENCE
+            if instr.dest is not None and instr.dest != REG_ZERO:
+                self.rat[instr.dest] = entry
+            if rename is not None:
+                self._rename_free[rename] -= 1
+            self.rob.push(entry)
+            self.stats.dispatched += 1
+            dispatched += 1
+            self._activity = True
+
+            if self._stall_base_seq is not None:
+                depth = entry.seq - self._stall_base_seq
+                if depth > self._window_max:
+                    self._window_max = depth
+
+            if immediate:
+                entry.state = DONE
+                entry.value = None
+                continue
+            if self.mode == MODE_RUNAHEAD and \
+                    not self.runahead.filter_dispatch(self, instr, slot.pc):
+                # Precise runahead: outside the stall slice — complete
+                # immediately with an INV result, using no backend resources.
+                entry.filtered = True
+                entry.inv = True
+                entry.value = 0
+                entry.state = ISSUED
+                entry.completion = now + 1
+                heapq.heappush(self._completions,
+                               (entry.completion, entry.seq, entry))
+                self.stats.filtered_instructions += 1
+                continue
+            self.iq.append(entry)
+            if is_load:
+                self.lq.append(entry)
+            if is_store:
+                self.sq.append(entry)
+
+    # ------------------------------------------------------------------- fetch --
+
+    def _fetch(self, now):
+        if self.fetch_halted or now < self.fetch_stall_until:
+            return
+        fetched = 0
+        while fetched < self.config.width and \
+                len(self.frontend) < self.config.fetch_queue:
+            instr = self.program.fetch(self.fetch_pc)
+            if instr is None:
+                self.fetch_halted = True
+                break
+            line = self.hierarchy.line_of(self.fetch_pc)
+            if line != self._last_inst_line:
+                result = self.hierarchy.access_inst(self.fetch_pc, now)
+                if result.level != LEVEL_L1:
+                    self.fetch_stall_until = result.completion
+                    break
+                self._last_inst_line = line
+            prediction = None
+            pc = self.fetch_pc
+            if instr.is_branch():
+                prediction = self.branch_unit.predict(pc, instr)
+            self.frontend.append(
+                _Fetched(pc, instr, prediction,
+                         now + self.config.frontend_depth))
+            self.stats.fetched += 1
+            fetched += 1
+            self._activity = True
+            if instr.opcode is Opcode.HALT:
+                self.fetch_halted = True
+                break
+            if prediction is not None and prediction.taken:
+                self.fetch_pc = prediction.target
+                self._last_inst_line = None
+                break
+            self.fetch_pc = pc + INSTR_BYTES
+
+    # ------------------------------------------------------------------ results --
+
+    def architectural_state(self):
+        """Return (registers, memory snapshot) for differential testing."""
+        return list(self.arch_regs), self.memory.snapshot()
+
+
+#: Sentinel returned by ``normal_load_override`` to stall the load (the
+#: SL cache's "wait for branch resolution" in Algorithm 1).
+BLOCKED = object()
+
+
+def _as_int(value):
+    if isinstance(value, tuple):
+        return to_unsigned64(value[0])
+    if isinstance(value, float):
+        return to_unsigned64(int(value))
+    return to_unsigned64(int(value))
+
+
+def _as_vec(value):
+    if isinstance(value, tuple):
+        return value
+    return (_as_int(value), _as_int(value))
+
+
+def _typed_store_value(opcode, value):
+    if opcode is Opcode.FSTORE:
+        return float(value)
+    if opcode is Opcode.VSTORE:
+        return value if isinstance(value, tuple) else (_as_int(value), 0)
+    return _as_int(value)
+
+
+def _typed_load_value(as_type, value):
+    if as_type == "float":
+        return float(value) if not isinstance(value, tuple) else \
+            float(value[0])
+    if as_type == "vec":
+        return value if isinstance(value, tuple) else (_as_int(value), 0)
+    return _as_int(value)
+
+
+def run_on_core(program, memory_image=None, config=None, runahead=None,
+                initial_sp=None, max_cycles=5_000_000):
+    """Build a core, run the program, return the core (stats inside)."""
+    core = Core(program, memory_image=memory_image, config=config,
+                runahead=runahead, initial_sp=initial_sp)
+    core.run(max_cycles=max_cycles)
+    return core

@@ -1,0 +1,45 @@
+"""Functional-unit pool.
+
+Units are fully pipelined: each unit accepts one operation per cycle and
+produces its result ``latency`` cycles later.  (Real integer dividers are
+usually iterative; modeling them as pipelined slightly favours
+divide-heavy code and is irrelevant to every experiment in the paper.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..isa.instructions import FuKind
+
+
+class FunctionalUnitPool:
+    """Tracks per-cycle issue-slot availability for each unit kind."""
+
+    def __init__(self, config: Dict[FuKind, Tuple[int, int]]):
+        self._counts = {kind: count for kind, (count, _) in config.items()}
+        self._latencies = {kind: lat for kind, (_, lat) in config.items()}
+        self._used: Dict[FuKind, int] = {}
+        self._cycle = -1
+
+    def new_cycle(self, cycle):
+        """Reset per-cycle slot usage."""
+        self._cycle = cycle
+        self._used = {}
+
+    def can_issue(self, kind: FuKind) -> bool:
+        return self._used.get(kind, 0) < self._counts.get(kind, 0)
+
+    def issue(self, kind: FuKind) -> int:
+        """Claim a slot; returns the operation latency."""
+        used = self._used.get(kind, 0)
+        if used >= self._counts.get(kind, 0):
+            raise RuntimeError(f"no free {kind.value} unit")
+        self._used[kind] = used + 1
+        return self._latencies[kind]
+
+    def latency(self, kind: FuKind) -> int:
+        return self._latencies[kind]
+
+    def count(self, kind: FuKind) -> int:
+        return self._counts.get(kind, 0)

@@ -1,0 +1,124 @@
+"""Reorder buffer entries and the value-based in-flight state.
+
+The core is a value-based Tomasulo machine: every ROB entry carries the
+computed result of its instruction, the register alias table maps each
+architectural register to its newest in-flight producer, and operands are
+read either from a producer entry or from the architectural file.
+
+``inv`` implements the runahead INV bit (Mutlu HPCA'03): results derived
+from the stalling load are poisoned and propagate invalidity instead of
+values.  An INV *branch* is the SPECRUN attack surface — it is predicted
+but never resolved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+# Entry lifecycle states.
+DISPATCHED = 0   # in the ROB + issue queue, waiting for operands/FU
+ISSUED = 1       # executing; result arrives at `completion`
+DONE = 2         # result available (or pseudo-value for stores)
+
+
+class RobEntry:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "seq", "pc", "instr", "state", "value", "inv", "completion",
+        "prediction", "resolved", "actual_taken", "actual_target",
+        "mem_addr", "store_value", "mem_level", "is_fence", "squashed",
+        "src_producers", "filtered", "taint", "btag", "issue_cycle",
+        "waiting_sl",
+    )
+
+    def __init__(self, seq, pc, instr):
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        self.state = DISPATCHED
+        self.value = None
+        self.inv = False
+        self.completion = 0
+        self.prediction = None       # branch Prediction from fetch
+        self.resolved = False
+        self.actual_taken = None
+        self.actual_target = None
+        self.mem_addr = None         # effective address once computed
+        self.store_value = None
+        self.mem_level = None        # hierarchy level that served a load
+        self.is_fence = False
+        self.squashed = False
+        self.src_producers = None    # tuple: RobEntry | None per source
+        self.filtered = False        # precise runahead: dropped from slice
+        self.taint = None            # defense: taint label set
+        self.btag = None             # defense: (branch scope id, m) tag
+        self.issue_cycle = None
+        self.waiting_sl = None       # defense: blocked on SL-cache USL wait
+
+    @property
+    def is_branch(self):
+        return self.instr.is_branch()
+
+    @property
+    def is_load(self):
+        return self.instr.is_load() or self.instr.opcode.value == "ret"
+
+    @property
+    def is_store(self):
+        return self.instr.is_store() or self.instr.opcode.value == "call"
+
+    def __repr__(self):
+        return (f"RobEntry(seq={self.seq}, pc={self.pc:#x}, "
+                f"{self.instr.opcode.value}, state={self.state})")
+
+
+class ReorderBuffer:
+    """Bounded FIFO of :class:`RobEntry` (in program order)."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = deque()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self):
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self):
+        return not self._entries
+
+    def head(self) -> Optional[RobEntry]:
+        return self._entries[0] if self._entries else None
+
+    def push(self, entry: RobEntry):
+        if self.full:
+            raise OverflowError("ROB overflow")
+        self._entries.append(entry)
+
+    def pop_head(self) -> RobEntry:
+        return self._entries.popleft()
+
+    def squash_younger(self, seq):
+        """Remove every entry younger than ``seq``; returns the victims."""
+        victims = []
+        while self._entries and self._entries[-1].seq > seq:
+            victim = self._entries.pop()
+            victim.squashed = True
+            victims.append(victim)
+        return victims
+
+    def clear(self):
+        """Remove everything (runahead exit); returns the victims."""
+        victims = list(self._entries)
+        for victim in victims:
+            victim.squashed = True
+        self._entries.clear()
+        return victims

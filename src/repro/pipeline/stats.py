@@ -1,0 +1,57 @@
+"""Execution statistics collected by the core.
+
+Everything the benchmarks report comes from here: IPC (Fig. 7), transient
+instruction counts (Fig. 10), runahead episode accounting, and branch /
+cache statistics for the analysis notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    squashed: int = 0
+    branch_mispredicts: int = 0
+    fence_stalls: int = 0
+
+    # Runahead accounting.
+    runahead_episodes: int = 0
+    runahead_cycles: int = 0
+    pseudo_retired: int = 0
+    inv_branches: int = 0          # branches never resolved (the attack surface)
+    inv_instructions: int = 0      # instructions poisoned by INV sources
+    runahead_prefetches: int = 0   # memory-level misses launched in runahead
+    filtered_instructions: int = 0 # precise runahead: non-slice drops
+    vector_prefetches: int = 0     # vector runahead: extra lanes issued
+
+    # Transient-window accounting (Fig. 10): instructions that entered
+    # execution but never architecturally committed.
+    transient_executed: int = 0
+
+    @property
+    def ipc(self):
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def summary(self):
+        """Short human-readable digest."""
+        lines = [
+            f"cycles={self.cycles} committed={self.committed} "
+            f"ipc={self.ipc:.3f}",
+            f"branch mispredicts={self.branch_mispredicts} "
+            f"squashed={self.squashed}",
+        ]
+        if self.runahead_episodes:
+            lines.append(
+                f"runahead: episodes={self.runahead_episodes} "
+                f"cycles={self.runahead_cycles} "
+                f"pseudo-retired={self.pseudo_retired} "
+                f"prefetches={self.runahead_prefetches} "
+                f"inv-branches={self.inv_branches}")
+        return "\n".join(lines)

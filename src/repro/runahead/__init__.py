@@ -1,0 +1,14 @@
+"""Runahead execution variants: original, precise, vector."""
+
+from .base import NoRunahead, RunaheadController
+from .checkpoint import Checkpoint
+from .original import OriginalRunahead
+from .precise import PreciseRunahead, compute_stall_slices
+from .runahead_cache import RunaheadCache
+from .vector import VectorRunahead
+
+__all__ = [
+    "NoRunahead", "RunaheadController", "Checkpoint", "OriginalRunahead",
+    "PreciseRunahead", "compute_stall_slices", "RunaheadCache",
+    "VectorRunahead",
+]

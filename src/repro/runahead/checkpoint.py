@@ -1,0 +1,25 @@
+"""Architectural checkpoint taken at runahead entry.
+
+Mutlu'03 checkpoints the architectural register file, branch history and
+return-address stack when entering runahead mode; everything executed
+afterwards is discarded on exit and the checkpoint restored.  The only
+side effects that survive are *cache fills* — which is both the
+performance benefit and the SPECRUN attack surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class Checkpoint:
+    """State restored on runahead exit."""
+
+    arch_regs: List[object]       # copy of the architectural register file
+    branch_snapshot: object       # BranchUnit speculative-state snapshot
+    stalling_pc: int              # fetch resumes here on exit
+    stalling_line: int            # cache line of the stalling load
+    stalling_completion: int      # cycle the stalling data returns
+    entry_cycle: int

@@ -1,0 +1,28 @@
+"""Original runahead execution (Mutlu et al., HPCA 2003).
+
+Enter when a load that missed all the way to memory stalls at the head of
+the reorder buffer; checkpoint; pseudo-retire everything (the core
+implements the mechanics); exit when the stalling data returns.  Every
+instruction executes in runahead mode, INV results propagate, and
+branches with INV sources never resolve — the paper's Fig. 6 machine.
+"""
+
+from __future__ import annotations
+
+from .base import RunaheadController
+
+
+class OriginalRunahead(RunaheadController):
+    """The baseline runahead policy the paper attacks."""
+
+    name = "original"
+
+    def __init__(self, min_stall_latency=0):
+        super().__init__()
+        #: Only enter when the remaining stall exceeds this many cycles
+        #: (0 = enter as soon as the memory-level miss reaches the head).
+        self.min_stall_latency = min_stall_latency
+
+    def should_enter(self, core, head_entry) -> bool:
+        remaining = head_entry.completion - core.cycle
+        return remaining > self.min_stall_latency

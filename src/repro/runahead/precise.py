@@ -1,0 +1,82 @@
+"""Precise runahead execution (Naithani et al., HPCA 2020).
+
+PRE executes only the *stall slices* — the chains of instructions that
+compute load addresses — during runahead mode, using free back-end
+resources instead of a full checkpoint/flush.  We model the filtering
+behaviour: at dispatch, instructions outside the static backward slice of
+any load address (and that are not loads or branches) are dropped — they
+complete immediately with INV results and consume no issue queue or
+functional units.  Branch instructions still execute and resolve as usual
+("the front-end relies on the branch predictor to steer the flow of
+execution in runahead mode", §4.3) — which is exactly why PRE remains
+vulnerable: an INV-source branch steers the slice down the poisoned path.
+
+The slice is computed once per program with a flow-insensitive def-use
+graph (networkx); over-approximation errs toward executing more, which is
+conservative for both performance and the attack.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from .base import RunaheadController
+from .original import OriginalRunahead
+
+
+def compute_stall_slices(program: Program):
+    """Return the set of instruction indices in any load-address slice.
+
+    Flow-insensitive: every definition of a register reaches every use.
+    Nodes are instruction indices; an edge producer→consumer exists when
+    the producer's destination is one of the consumer's sources.  The
+    slice is the ancestor set of all load address operands, plus the
+    loads themselves.
+    """
+    graph = nx.DiGraph()
+    producers = {}
+    for index, instr in enumerate(program.instructions):
+        graph.add_node(index)
+        if instr.dest is not None:
+            producers.setdefault(instr.dest, []).append(index)
+    for index, instr in enumerate(program.instructions):
+        for src in instr.srcs:
+            for producer in producers.get(src, ()):
+                if producer != index:
+                    graph.add_edge(producer, index)
+
+    slice_set = set()
+    for index, instr in enumerate(program.instructions):
+        if instr.is_load() or instr.opcode is Opcode.RET:
+            slice_set.add(index)
+            slice_set.update(nx.ancestors(graph, index))
+    return slice_set
+
+
+class PreciseRunahead(OriginalRunahead):
+    """Stall-slice-filtered runahead."""
+
+    name = "precise"
+
+    def __init__(self, min_stall_latency=0):
+        super().__init__(min_stall_latency=min_stall_latency)
+        self._slices = None
+
+    def attach(self, core):
+        super().attach(core)
+        self._slices = compute_stall_slices(core.program)
+
+    def filter_dispatch(self, core, instr, pc) -> bool:
+        if instr.is_branch() or instr.is_load():
+            return True
+        if instr.opcode is Opcode.CLFLUSH:
+            return True
+        index = pc // 4
+        return index in self._slices
+
+    @property
+    def slice_size(self):
+        """Number of static instructions inside stall slices."""
+        return len(self._slices) if self._slices is not None else 0

@@ -1,0 +1,49 @@
+"""Runahead cache (Mutlu'03's 512-byte speculative store buffer).
+
+Stores that pseudo-retire during runahead mode write here — never to
+architectural memory — so later runahead loads can forward their data and
+keep the prefetch slice accurate.  Entries carry the INV bit: a store
+whose *data* was poisoned writes an INV marker so dependent loads poison
+their destinations too.  The cache is cleared on runahead exit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class RunaheadCache:
+    """Word-granular FIFO-evicting speculative store buffer."""
+
+    def __init__(self, capacity=64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[object, bool]]" = OrderedDict()
+        self.writes = 0
+        self.reads = 0
+        self.hits = 0
+
+    def write(self, addr, value, inv=False):
+        """Record a pseudo-retired store (evicts oldest when full)."""
+        self.writes += 1
+        if addr in self._entries:
+            del self._entries[addr]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[addr] = (value, inv)
+
+    def read(self, addr) -> Optional[Tuple[object, bool]]:
+        """Return ``(value, inv)`` if present, else None."""
+        self.reads += 1
+        entry = self._entries.get(addr)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        self._entries.clear()

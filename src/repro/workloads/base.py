@@ -1,0 +1,55 @@
+"""Workload plumbing: the Workload bundle and the run helper.
+
+Fig. 7 of the paper evaluates runahead on six SPEC CPU2006 benchmarks.
+SPEC sources and inputs are not redistributable (and would be absurd to
+run on a Python timing model), so :mod:`repro.workloads.generators`
+builds synthetic kernels with the memory behaviour each benchmark is
+known for in the runahead literature — pointer chasing for mcf,
+streaming for lbm, multi-array stencils for GemsFDTD, and so on.  What
+Fig. 7 needs is the *shape* of the IPC comparison (memory-bound kernels
+gain, compute-bound ones do not, ~11 % mean), which these kernels
+parameterize directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..isa.memory_image import MemoryImage
+from ..isa.program import Program
+from ..pipeline.config import CoreConfig
+from ..pipeline.core import Core
+from ..runahead.base import RunaheadController
+
+
+@dataclass
+class Workload:
+    """One runnable benchmark kernel."""
+
+    name: str
+    description: str
+    build: Callable[[], tuple]     # () -> (Program, MemoryImage, sp|None)
+    memory_bound: bool             # expected to benefit from runahead
+
+    def run(self, runahead: Optional[RunaheadController] = None,
+            config: Optional[CoreConfig] = None, max_cycles=5_000_000):
+        """Execute on a fresh core; returns the core (stats inside)."""
+        program, image, sp = self.build()
+        core = Core(program, memory_image=image,
+                    config=config or CoreConfig.paper(), runahead=runahead,
+                    initial_sp=sp, warm_icache=True)
+        core.run(max_cycles=max_cycles)
+        if not core.halted:
+            raise RuntimeError(f"workload {self.name} did not halt")
+        return core
+
+
+def ipc_comparison(workload: Workload, baseline: RunaheadController,
+                   contender: RunaheadController,
+                   config: Optional[CoreConfig] = None):
+    """Return (baseline stats, contender stats, normalized IPC)."""
+    base = workload.run(runahead=baseline, config=config)
+    cont = workload.run(runahead=contender, config=config)
+    speedup = cont.stats.ipc / base.stats.ipc if base.stats.ipc else 0.0
+    return base.stats, cont.stats, speedup

@@ -1,0 +1,309 @@
+"""SPEC2006-shaped synthetic kernels (the Fig. 7 benchmark set).
+
+Each generator emits an assembly kernel whose dominant memory behaviour
+matches what the runahead literature reports for the benchmark it is
+named after:
+
+===========  ==========================================================
+zeusmp-like  small warm working set, long FP dependence chains —
+             compute bound, little for runahead to do
+wrf-like     mixed int/FP on an L2-resident footprint — mildly
+             memory sensitive
+bwaves-like  blocked strided FP sweeps — regular independent misses
+lbm-like     two-stream streaming update — one cold line per 8 elements
+             on both streams
+mcf-like     pointer chasing with per-node independent arc-array reads —
+             the chase itself is unprefetchable (dependent addresses go
+             INV in runahead); the arc reads supply the MLP
+gems-like    three-array stencil — dense independent miss streams
+===========  ==========================================================
+
+Arrays are *cold* at kernel start (the simulator's caches start empty),
+so streaming kernels take a memory-level miss on every new line exactly
+like a first sweep over a >LLC dataset; compute kernels pre-warm their
+working set through an explicit warm-up loop inside the kernel.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import assemble
+from ..isa.memory_image import MemoryImage
+from .base import Workload
+
+# Deterministic PRNG for data layout (no global randomness).
+_MASK = (1 << 63) - 1
+
+
+def _lcg(seed):
+    state = seed & _MASK
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) & _MASK
+        yield state
+
+
+def build_zeusmp_like(elements=96, rounds=4):
+    """Compute-bound FP kernel over a warm working set."""
+    def build():
+        image = MemoryImage()
+        data = image.alloc_array("data", elements, fill=3)
+        source = f"""
+            li r1, @data
+            li r2, {elements}
+        warm:
+            load r3, r1, 0
+            addi r1, r1, 8
+            addi r2, r2, -1
+            bne r2, r0, warm
+
+            li r4, {rounds}
+            li r9, 2
+            fcvt f5, r9
+        outer:
+            li r1, @data
+            li r2, {elements}
+        inner:
+            fload f1, r1, 0
+            fmul f2, f1, f5
+            fadd f3, f2, f1
+            fdiv f4, f3, f5
+            fmul f6, f4, f4
+            fadd f7, f6, f3
+            fstore f7, r1, 0
+            addi r1, r1, 8
+            addi r2, r2, -1
+            bne r2, r0, inner
+            addi r4, r4, -1
+            bne r4, r0, outer
+            halt
+        """
+        return assemble(source, memory_image=image), image, None
+    return Workload("zeusmp", "warm-set FP compute (zeusmp-shaped)",
+                    build, memory_bound=False)
+
+
+def build_wrf_like(elements=48, stride_words=3, rounds=18):
+    """Mixed int/FP, mostly warm working set with a cold first sweep."""
+    def build():
+        image = MemoryImage()
+        image.alloc_array("grid", elements * stride_words, fill=5)
+        source = f"""
+            li r5, {rounds}
+            li r9, 3
+            fcvt f9, r9
+            fmov f8, f9
+        round:
+            li r1, @grid
+            li r2, {elements}
+        loop:
+            load r3, r1, 0
+            fload f1, r1, 8
+            addi r4, r3, 17
+            fmul f2, f1, f9
+            fdiv f3, f2, f9
+            fadd f8, f8, f3
+            store r4, r1, 16
+            fstore f3, r1, 8
+            addi r1, r1, {stride_words * 8}
+            addi r2, r2, -1
+            bne r2, r0, loop
+            addi r5, r5, -1
+            bne r5, r0, round
+            halt
+        """
+        return assemble(source, memory_image=image), image, None
+    return Workload("wrf", "mixed int/FP, modest miss rate (wrf-shaped)",
+                    build, memory_bound=False)
+
+
+def build_bwaves_like(blocks=12, block_elements=24, block_stride_lines=4,
+                      serial_chain=16):
+    """Blocked strided FP sweeps: regular independent misses.
+
+    ``serial_chain`` inserts a loop-carried FP dependence per element,
+    calibrating the compute:miss ratio to the benchmark's character
+    (see EXPERIMENTS.md, Fig. 7 calibration).
+    """
+    chain = "\n".join("            fmul f4, f4, f9"
+                      for _ in range(serial_chain))
+    def build():
+        image = MemoryImage()
+        span = blocks * block_stride_lines * 64 + block_elements * 8
+        image.alloc("field", span)
+        source = f"""
+            li r1, @field
+            li r2, {blocks}
+            li r9, 2
+            fcvt f9, r9
+            fmov f8, f9
+        block:
+            mov r3, r1
+            li r4, {block_elements}
+        elem:
+            fload f1, r3, 0
+            fmul f2, f1, f9
+            fadd f3, f2, f9
+            fmov f4, f3
+{chain}
+            fadd f8, f8, f4
+            fstore f3, r3, 0
+            addi r3, r3, 8
+            addi r4, r4, -1
+            bne r4, r0, elem
+            addi r1, r1, {block_stride_lines * 64}
+            addi r2, r2, -1
+            bne r2, r0, block
+            halt
+        """
+        return assemble(source, memory_image=image), image, None
+    return Workload("bwaves", "blocked strided FP sweep (bwaves-shaped)",
+                    build, memory_bound=True)
+
+
+def build_lbm_like(elements=360, serial_chain=8):
+    """Two-stream streaming update: one cold line per 8 elements/stream.
+
+    Real lbm performs ~20 FLOP per site; ``serial_chain`` models that
+    collision compute as a loop-carried FP chain, which calibrates the
+    runahead gain to the paper's range.
+    """
+    chain = "\n".join("            fmul f4, f4, f9"
+                      for _ in range(serial_chain))
+    def build():
+        image = MemoryImage()
+        image.alloc_array("src", elements + 8, fill=7)
+        image.alloc_array("dst", elements + 8)
+        source = f"""
+            li r1, @src
+            li r2, @dst
+            li r3, {elements}
+            li r9, 3
+            fcvt f9, r9
+            fmov f10, f9
+        loop:
+            fload f1, r1, 0
+            fload f2, r1, 64
+            fadd f3, f1, f2
+            fmov f4, f3
+{chain}
+            fadd f10, f10, f4
+            fstore f4, r2, 0
+            addi r1, r1, 8
+            addi r2, r2, 8
+            addi r3, r3, -1
+            bne r3, r0, loop
+            halt
+        """
+        return assemble(source, memory_image=image), image, None
+    return Workload("lbm", "streaming two-stream update (lbm-shaped)",
+                    build, memory_bound=True)
+
+
+def build_mcf_like(nodes=160, node_words=4, seed=1234, serial_work=12):
+    """Pointer chase + independent arc-array reads per node.
+
+    The next-pointer chain is a random permutation (dependent loads:
+    runahead can NOT prefetch those — their addresses go INV); each
+    visit also reads four strided arc arrays, which supply the
+    memory-level parallelism runahead exposes.  ``serial_work`` models
+    the per-node simplex bookkeeping as a serial integer chain; without
+    it the ROB alone covers enough arc misses that runahead's entry/exit
+    overhead makes it a net loss (measured — see EXPERIMENTS.md).
+    """
+    work = "\n".join("            addi r5, r5, 1"
+                     for _ in range(serial_work))
+
+    def build():
+        image = MemoryImage()
+        node_base = image.alloc_array("nodes", nodes * node_words)
+        for stream in ("arcs_a", "arcs_b", "arcs_c", "arcs_d"):
+            image.alloc_array(stream, nodes * 8)
+        # Random-permutation next pointers (single cycle through all).
+        rng = _lcg(seed)
+        order = list(range(1, nodes))
+        for i in range(len(order) - 1, 0, -1):
+            j = next(rng) % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        chain = [0] + order
+        for pos, node in enumerate(chain):
+            successor = chain[(pos + 1) % nodes]
+            addr = node_base + node * node_words * 8
+            image.write_word(addr, node_base + successor * node_words * 8)
+            image.write_word(addr + 8, node * 3 + 1)     # cost
+        source = f"""
+            li r1, @nodes          # current node pointer
+            li r2, @arcs_a
+            li r3, @arcs_b
+            li r12, @arcs_c
+            li r13, @arcs_d
+            li r4, {nodes}
+            li r5, 0               # accumulator
+        visit:
+            load r6, r1, 8         # node cost
+            load r7, r2, 0         # independent arc reads (strided)
+            load r8, r3, 0
+            load r10, r12, 0
+            load r11, r13, 0
+            add r5, r5, r6
+            add r5, r5, r7
+            add r5, r5, r8
+            add r5, r5, r10
+            add r5, r5, r11
+{work}
+            load r1, r1, 0         # chase the next pointer (dependent)
+            addi r2, r2, 64
+            addi r3, r3, 64
+            addi r12, r12, 64
+            addi r13, r13, 64
+            addi r4, r4, -1
+            bne r4, r0, visit
+            halt
+        """
+        return assemble(source, memory_image=image), image, None
+    return Workload("mcf", "pointer chase + arc arrays (mcf-shaped)",
+                    build, memory_bound=True)
+
+
+def build_gems_like(elements=280, serial_chain=14):
+    """Three-array FDTD-style stencil: dense independent miss streams.
+
+    ``serial_chain`` adds the loop-carried field-update dependence that
+    the real FDTD time-stepping has, calibrating the gain.
+    """
+    chain = "\n".join("            fmul f6, f6, f9"
+                      for _ in range(serial_chain))
+
+    def build():
+        image = MemoryImage()
+        image.alloc_array("h_field", elements + 8, fill=2)
+        image.alloc_array("e_field", elements + 8, fill=1)
+        image.alloc_array("current", elements + 8, fill=1)
+        source = f"""
+            li r1, @h_field
+            li r2, @e_field
+            li r3, @current
+            li r4, {elements}
+            li r9, 2
+            fcvt f9, r9
+            fmov f10, f9
+        loop:
+            fload f1, r1, 8
+            fload f2, r1, 0
+            fsub f3, f1, f2
+            fload f4, r3, 0
+            fmul f5, f3, f9
+            fsub f6, f5, f4
+{chain}
+            fload f7, r2, 0
+            fadd f8, f7, f6
+            fadd f10, f10, f8
+            fstore f8, r2, 0
+            addi r1, r1, 8
+            addi r2, r2, 8
+            addi r3, r3, 8
+            addi r4, r4, -1
+            bne r4, r0, loop
+            halt
+        """
+        return assemble(source, memory_image=image), image, None
+    return Workload("gems", "three-array stencil (GemsFDTD-shaped)",
+                    build, memory_bound=True)

@@ -1,0 +1,51 @@
+"""Cross-cutting integration scenarios not covered by the per-module
+suites: defense x padded gadget, variant controllers x indirect attacks,
+re-run determinism, and stats consistency."""
+
+import pytest
+
+from repro.attack import run_specrun
+from repro.defense import SecureRunahead
+from repro.runahead import OriginalRunahead, PreciseRunahead, VectorRunahead
+
+
+class TestCrossMatrix:
+    def test_vector_runahead_vs_btb_variant(self):
+        result = run_specrun("btb", runahead=VectorRunahead())
+        assert result.succeeded
+
+    def test_precise_runahead_vs_rsb_overwrite(self):
+        result = run_specrun("rsb-overwrite", runahead=PreciseRunahead())
+        assert result.succeeded
+
+    def test_secure_blocks_padded_gadget(self):
+        result = run_specrun("pht", runahead=SecureRunahead(),
+                             secret_value=127, nop_padding=300)
+        assert not result.leaked
+
+
+class TestDeterminism:
+    def test_attack_is_bit_deterministic(self):
+        """Two independent runs produce identical probe vectors — the
+        simulator has no hidden global state."""
+        a = run_specrun("pht", secret_value=55)
+        b = run_specrun("pht", secret_value=55)
+        assert a.latencies == b.latencies
+        assert a.stats.cycles == b.stats.cycles
+
+
+class TestStatsConsistency:
+    def test_counts_are_coherent(self):
+        result = run_specrun("pht")
+        stats = result.stats
+        assert stats.dispatched >= stats.committed
+        assert stats.fetched >= stats.dispatched
+        assert stats.issued <= stats.dispatched
+        assert stats.transient_executed >= stats.pseudo_retired
+        assert stats.cycles > 0
+        assert 0 < stats.ipc <= 4
+
+    def test_no_leak_means_no_recovered_secret(self):
+        result = run_specrun("pht", runahead=SecureRunahead())
+        assert result.recovered_secret is None
+        assert "no leak" in result.describe()

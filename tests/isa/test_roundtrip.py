@@ -1,0 +1,95 @@
+"""Property tests: assembler round-trips and branch-predicate semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Opcode, assemble, to_signed64, to_unsigned64
+from repro.isa.instructions import eval_branch, eval_int_alu
+
+_ALU3 = ["add", "sub", "and", "or", "xor", "slt", "sltu", "mul", "div",
+         "rem"]
+_ALUI = ["addi", "andi", "ori", "xori", "slti", "muli"]
+_BRANCH = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+
+@st.composite
+def instruction_line(draw):
+    kind = draw(st.sampled_from(["alu3", "alui", "li", "mem", "misc"]))
+    reg = lambda: f"r{draw(st.integers(0, 31))}"
+    if kind == "alu3":
+        return f"{draw(st.sampled_from(_ALU3))} {reg()}, {reg()}, {reg()}"
+    if kind == "alui":
+        return (f"{draw(st.sampled_from(_ALUI))} {reg()}, {reg()}, "
+                f"{draw(st.integers(-(2**31), 2**31))}")
+    if kind == "li":
+        return f"li {reg()}, {draw(st.integers(-(2**62), 2**62))}"
+    if kind == "mem":
+        op = draw(st.sampled_from(["load", "store"]))
+        offset = draw(st.integers(0, 4096)) * 8
+        if op == "load":
+            return f"load {reg()}, {reg()}, {offset}"
+        return f"store {reg()}, {reg()}, {offset}"
+    return draw(st.sampled_from(["nop", "fence", "halt", f"rdtsc {reg()}"]))
+
+
+class TestAssemblerRoundTrip:
+    @given(st.lists(instruction_line(), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_assemble_is_stable(self, lines):
+        """Assembling the same source twice yields identical programs."""
+        source = "\n".join(lines)
+        a = assemble(source)
+        b = assemble(source)
+        assert len(a) == len(b)
+        for ia, ib in zip(a, b):
+            assert ia == ib
+
+    @given(st.lists(instruction_line(), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_every_instruction_renders(self, lines):
+        """str() never raises and names the mnemonic."""
+        program = assemble("\n".join(lines))
+        for instr in program:
+            assert instr.opcode.value in str(instr)
+
+
+class TestBranchSemantics:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_predicates_partition(self, a, b):
+        """For any pair: eq/ne partition, lt/ge partition (both
+        signednesses), and signed comparison matches Python ints."""
+        assert eval_branch(Opcode.BEQ, a, b) != eval_branch(Opcode.BNE, a, b)
+        assert eval_branch(Opcode.BLT, a, b) != eval_branch(Opcode.BGE, a, b)
+        assert eval_branch(Opcode.BLTU, a, b) != \
+            eval_branch(Opcode.BGEU, a, b)
+        assert eval_branch(Opcode.BLT, a, b) == \
+            (to_signed64(a) < to_signed64(b))
+        assert eval_branch(Opcode.BLTU, a, b) == (a < b)
+
+
+class TestAluSemantics:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_results_stay_in_64_bits(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+                   Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+                   Opcode.DIV, Opcode.REM):
+            result = eval_int_alu(op, a, b, None)
+            assert 0 <= result < 2**64
+
+    @given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_add_sub_match_wrapped_python(self, a, b):
+        ua, ub = to_unsigned64(a), to_unsigned64(b)
+        assert eval_int_alu(Opcode.ADD, ua, ub, None) == to_unsigned64(a + b)
+        assert eval_int_alu(Opcode.SUB, ua, ub, None) == to_unsigned64(a - b)
+
+    @given(st.integers(-(2**31), 2**31), st.integers(1, 2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_div_rem_identity(self, a, b):
+        """quotient * divisor + remainder == dividend (truncated division)."""
+        ua, ub = to_unsigned64(a), to_unsigned64(b)
+        q = to_signed64(eval_int_alu(Opcode.DIV, ua, ub, None))
+        r = to_signed64(eval_int_alu(Opcode.REM, ua, ub, None))
+        assert q * b + r == a
+        assert abs(r) < b

@@ -1,0 +1,144 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import CacheConfig, SetAssociativeCache
+
+
+def make_cache(size=1024, assoc=2, line=64, replacement="lru"):
+    return SetAssociativeCache(
+        CacheConfig("test", size, assoc, line_bytes=line,
+                    replacement=replacement))
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = make_cache(size=1024, assoc=2, line=64)
+        assert cache.config.n_sets == 8
+        assert cache.config.n_lines == 16
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 2, line_bytes=64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(CacheConfig("bad", 3 * 64 * 2, 2))
+
+    def test_line_of_masks_offset(self):
+        cache = make_cache()
+        assert cache.line_of(0x1234) == 0x1200
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offsets(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1038)  # same 64B line
+
+    def test_probe_has_no_side_effects(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        before = (cache.stats.hits, cache.stats.misses)
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x2000)
+        assert (cache.stats.hits, cache.stats.misses) == before
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.probe(0x1000)
+        assert not cache.invalidate(0x1000)
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+        # Three lines mapping to set 0: line numbers 0, 2, 4 (stride 128).
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.lookup(0x000)          # refresh line 0
+        evicted = cache.fill(0x200)  # must evict 0x100
+        assert evicted == 0x100
+        assert cache.probe(0x000)
+        assert not cache.probe(0x100)
+
+    def test_fifo_ignores_hits(self):
+        cache = make_cache(size=256, assoc=2, line=64, replacement="fifo")
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.lookup(0x000)          # does not refresh under FIFO
+        evicted = cache.fill(0x200)
+        assert evicted == 0x000
+
+    def test_refill_of_resident_line_evicts_nothing(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.fill(0x1000) is None
+        assert cache.stats.evictions == 0
+
+    def test_random_policy_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            cache = make_cache(size=256, assoc=2, replacement="random")
+            cache.fill(0x000)
+            cache.fill(0x100)
+            results.append(cache.fill(0x200))
+        assert results[0] == results[1]
+        assert results[0] in (0x000, 0x100)
+
+
+class TestOccupancyInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200),
+           st.sampled_from(["lru", "fifo", "random"]))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, line_indices, policy):
+        cache = make_cache(size=512, assoc=2, line=64, replacement=policy)
+        for index in line_indices:
+            cache.fill(index * 64)
+            assert cache.occupancy() <= cache.config.n_lines
+            for ways in cache._sets:
+                assert len(ways) <= cache.config.assoc
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=31)),
+                    max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_fill_then_probe_consistency(self, ops):
+        """A line is present iff its last fill was not followed by eviction
+        or invalidation — tracked against a reference set."""
+        cache = make_cache(size=4096, assoc=64, line=64)  # 1 set, 64 ways
+        reference = set()
+        for is_fill, index in ops:
+            addr = index * 64
+            if is_fill:
+                cache.fill(addr)
+                reference.add(addr)   # assoc 64 > 32 lines: never evicts
+            else:
+                cache.invalidate(addr)
+                reference.discard(addr)
+            assert cache.probe(addr) == (addr in reference)
+
+    def test_resident_lines_round_trip(self):
+        cache = make_cache()
+        for addr in (0x0, 0x40, 0x80):
+            cache.fill(addr)
+        assert sorted(cache.resident_lines()) == [0x0, 0x40, 0x80]
+
+    def test_reset_clears_everything(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        cache.lookup(0x1000)
+        cache.reset()
+        assert cache.occupancy() == 0
+        assert cache.stats.accesses == 0
