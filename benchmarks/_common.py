@@ -1,14 +1,18 @@
 """Shared benchmark plumbing.
 
-Every bench regenerates one table or figure of the paper and both prints
-it (visible with ``pytest -s``) and writes it to
-``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
-artifacts.
+Every bench regenerates one table or figure of the paper by driving its
+sweep through :mod:`repro.harness` (declarative trials, sharded
+execution, on-disk result cache), asserts the paper's shape on the
+result, and both prints the rendered report (visible with ``pytest -s``)
+and writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+reference stable artifacts.
 """
 
 from __future__ import annotations
 
 import pathlib
+
+from repro.harness import run_sweep
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -26,3 +30,21 @@ def emit(name, text):
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_preset(preset, benchmark, sweep_opts):
+    """Build a preset's sweep for the selected tier and execute it.
+
+    The sweep runs under pytest-benchmark timing with the result cache
+    enabled ("auto"), so a second identical run reports cache hits and
+    finishes near-instantly.
+    """
+    sweep = preset.build(quick=sweep_opts["quick"])
+    result = once(benchmark, lambda: run_sweep(
+        sweep, workers=sweep_opts["workers"]))
+    return result
+
+
+def footer(result):
+    """Cache/shard summary appended to every emitted report."""
+    return f"\n\n[{result.describe()}]"

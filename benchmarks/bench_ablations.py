@@ -8,95 +8,48 @@ scale the way the paper's mechanism arguments predict:
 * the PoC leaks under every direction predictor (§4.4's generality);
 * the SL cache blocks the PoC at any capacity that can hold the
   transmit line, and its capacity bounds quarantine storage.
+
+All four axes are one ``ablations`` harness sweep; the quick tier keeps
+the endpoints of each axis.
 """
 
-import pytest
+from repro.harness import presets
 
-from repro.analysis import format_table
-from repro.attack import measure_window, run_specrun
-from repro.defense import SecureRunahead
-from repro.memory import HierarchyConfig
-from repro.pipeline import CoreConfig
-from repro.runahead import NoRunahead, OriginalRunahead
+from _common import emit, footer, run_preset
 
-from _common import emit, once
+PRESET = presets.get("ablations")
 
 
-def sweep_rob():
-    rows = []
-    for rob in (64, 128, 256, 512):
-        config = CoreConfig.paper(rob_size=rob)
-        m = measure_window(NoRunahead(), sled=1024, config=config)
-        rows.append((rob, m.window))
-    return rows
+def test_ablations(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
+    # N1 == ROB - 1 at every ROB size.
+    rob_records = result.select("window", runahead="none")
+    assert rob_records
+    for record in rob_records:
+        rob = record["params"]["config"]["rob_size"]
+        assert record["result"]["window"] == rob - 1, rob
 
-def sweep_latency():
-    rows = []
-    for latency in (100, 200, 400):
-        h = HierarchyConfig.paper()
-        config = CoreConfig.paper(hierarchy=HierarchyConfig(
-            l1i=h.l1i, l1d=h.l1d, l2=h.l2, l3=h.l3,
-            mem_latency=latency, mem_occupancy=h.mem_occupancy))
-        m = measure_window(OriginalRunahead(), sled=8192, config=config)
-        rows.append((latency, m.window))
-    return rows
-
-
-def sweep_predictors():
-    rows = []
-    for predictor in ("bimodal", "gshare", "twolevel"):
-        config = CoreConfig.paper(predictor=predictor)
-        result = run_specrun("pht", config=config)
-        rows.append((predictor,
-                     result.recovered_secret if result.leaked else None))
-    return rows
-
-
-def sweep_sl_capacity():
-    rows = []
-    for capacity in (4, 16, 64):
-        result = run_specrun("pht",
-                             runahead=SecureRunahead(sl_capacity=capacity))
-        rows.append((capacity, result.leaked))
-    return rows
-
-
-def test_ablations(benchmark):
-    rob_rows, lat_rows, pred_rows, sl_rows = once(
-        benchmark, lambda: (sweep_rob(), sweep_latency(),
-                            sweep_predictors(), sweep_sl_capacity()))
-
-    for rob, window in rob_rows:
-        assert window == rob - 1
-    windows = [w for _, w in lat_rows]
+    # Window grows monotonically with memory latency.
+    lat_records = sorted(
+        result.select("window", runahead="original"),
+        key=lambda r: r["params"]["config"]["mem_latency"])
+    windows = [r["result"]["window"] for r in lat_records]
     assert windows == sorted(windows) and windows[0] < windows[-1]
-    for predictor, recovered in pred_rows:
-        if predictor == "gshare":
-            # Global-history predictors may need path-exact training;
-            # report rather than require.
-            continue
-        assert recovered == 86, predictor
-    for capacity, leaked in sl_rows:
-        assert not leaked, f"SL capacity {capacity} leaked"
 
-    text = []
-    text.append("ROB sweep (no runahead) — transient window == ROB-1:")
-    text.append(format_table(["ROB", "window"], rob_rows))
-    text.append("")
-    text.append("memory-latency sweep (runahead) — window grows with "
-                "stall length:")
-    text.append(format_table(["mem latency", "window"], lat_rows))
-    text.append("")
-    text.append("direction-predictor sweep — recovered secret per "
-                "predictor:")
-    text.append(format_table(
-        ["predictor", "recovered"],
-        [(p, r if r is not None else "no leak") for p, r in pred_rows]))
-    text.append("")
-    text.append("SL-cache capacity sweep (secure runahead) — leak blocked "
-                "at every size:")
-    text.append(format_table(
-        ["capacity (lines)", "leaked"],
-        [(c, "yes" if l else "no") for c, l in sl_rows]))
-    emit("ablations", "\n".join(text))
+    # The PoC leaks under every predictor we require (gshare may need
+    # path-exact training; report rather than require).
+    for record in result.select("attack", runahead="original"):
+        predictor = (record["params"].get("config") or {}).get("predictor")
+        if predictor and predictor != "gshare":
+            assert record["result"]["recovered"] == 86, predictor
+
+    # The SL cache blocks the leak at every capacity.
+    sl_records = result.select("attack", runahead="secure")
+    assert sl_records
+    for record in sl_records:
+        capacity = record["params"]["runahead_kwargs"]["sl_capacity"]
+        assert not record["result"]["leaked"], \
+            f"SL capacity {capacity} leaked"
+
+    emit("ablations", PRESET.render(result) + footer(result))

@@ -5,40 +5,31 @@ extends the ROB, repeated flushing extends it further.  Expected
 reproduction: N1 = ROB - 1 exactly; N2 and N3 larger with the same
 ordering (absolute values depend on runahead entry timing and memory
 latency; the paper's ratios are N2/N1 = 1.9, N3/N2 = 1.75).
+
+The three scenarios are the ``fig10`` harness preset (the quick tier
+shortens the nop sled, which leaves all three windows intact).
 """
 
-from repro.analysis import format_table
-from repro.attack import measure_fig10
+from repro.harness import presets
 from repro.pipeline import CoreConfig
 
-from _common import emit, once
+from _common import emit, footer, run_preset
+
+PRESET = presets.get("fig10")
 
 
-def test_fig10_window_sizes(benchmark):
-    n1, n2, n3 = once(benchmark, measure_fig10)
+def test_fig10_window_sizes(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
+
+    n1 = result.one("window", runahead="none")["result"]
+    n2 = result.one("window", runahead="original",
+                    async_flushes=None)["result"]
+    n3 = result.one("window", runahead="original",
+                    async_flushes=1)["result"]
 
     rob = CoreConfig.paper().rob_size
-    assert n1.window == rob - 1          # paper: 255
-    assert n2.window > rob               # beyond the ROB
-    assert n3.window > n2.window         # repeated flush goes further
+    assert n1["window"] == rob - 1           # paper: 255
+    assert n2["window"] > rob                # beyond the ROB
+    assert n3["window"] > n2["window"]       # repeated flush goes further
 
-    rows = [
-        ("1 normal: flush once (N1)", n1.window, n1.pseudo_retired,
-         n1.runahead_episodes, n1.cycles, 255),
-        ("2 runahead: flush once (N2)", n2.window, n2.pseudo_retired,
-         n2.runahead_episodes, n2.cycles, 480),
-        ("3 runahead: flush repeatedly (N3)", n3.window, n3.pseudo_retired,
-         n3.runahead_episodes, n3.cycles, 840),
-    ]
-    table = format_table(
-        ["scenario", "window", "pseudo-retired", "episodes", "cycles",
-         "paper"], rows)
-    emit("fig10_window",
-         f"{table}\n\n"
-         f"ratios: N2/N1 = {n2.window / n1.window:.2f} "
-         f"(paper 1.88), N3/N2 = {n3.window / n2.window:.2f} "
-         f"(paper 1.75)\n"
-         "N1 matches the paper exactly (ROB-bound); N2/N3 exceed the ROB\n"
-         "with the paper's ordering. Scenario 3 is driven by an async\n"
-         "flusher modeling the co-resident attacker thread (see\n"
-         "repro/attack/window.py).")
+    emit("fig10_window", PRESET.render(result) + footer(result))

@@ -4,36 +4,26 @@ gadget sits beyond the reach of the ROB.
 Paper: with nops inserted so the secret access lies outside the original
 ROB window, the no-runahead machine shows no latency drop (no leak)
 while the runahead machine still leaks (drop at index 127).
+
+Both machines are one grid axis of the ``fig11`` harness preset.
 """
 
-from repro.analysis import format_latency_plot
-from repro.attack import rob_limit_comparison
+from repro.harness import presets
+from repro.harness.presets import FIG11_SECRET
 
-from _common import emit, once
+from _common import emit, footer, run_preset
 
-SECRET = 127     # the paper's Fig. 11 dip index
-PADDING = 300    # nops between the branch and the access (> 256 ROB)
+PRESET = presets.get("fig11")
 
 
-def test_fig11_beyond_rob(benchmark):
-    baseline, runahead = once(
-        benchmark,
-        lambda: rob_limit_comparison(nop_padding=PADDING,
-                                     secret_value=SECRET))
+def test_fig11_beyond_rob(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
-    assert not baseline.leaked            # paper: no drop without runahead
-    assert runahead.succeeded             # paper: drop at 127 with runahead
-    assert runahead.recovered_secret == SECRET
+    baseline = result.one("attack", runahead="none")["result"]
+    runahead = result.one("attack", runahead="original")["result"]
 
-    base_plot = format_latency_plot(
-        baseline.latencies, height=8,
-        title=f"no-runahead machine ({PADDING}-nop padded gadget):")
-    ra_plot = format_latency_plot(
-        runahead.latencies, height=8,
-        title="runahead machine (same gadget):")
-    emit("fig11_beyond_rob",
-         f"{base_plot}\n\n{ra_plot}\n\n"
-         f"no-runahead: {'leak' if baseline.leaked else 'NO leak'} | "
-         f"runahead: leak at {runahead.recovered_secret} "
-         f"(planted {SECRET})\n"
-         "(paper: leakage only on the runahead machine, index 127)")
+    assert not baseline["leaked"]        # paper: no drop without runahead
+    assert runahead["succeeded"]         # paper: drop at 127 with runahead
+    assert runahead["recovered"] == FIG11_SECRET
+
+    emit("fig11_beyond_rob", PRESET.render(result) + footer(result))

@@ -1,99 +1,24 @@
 """Fig. 12: the Btag / IS tagging table.
 
-Reproduces the figure's machine-code example through the taint tracker
-and checks every Btag and IS cell against the values printed in the
-paper's figure.
+Runs the figure's machine-code example through the taint tracker (the
+library-side worked example in :mod:`repro.defense.taint_demo`, wired up
+as the ``fig12`` harness preset) and checks every Btag and IS cell
+against the values printed in the paper's figure.
 """
 
-from repro.analysis import format_table
-from repro.defense import TaintTracker
-from repro.isa import Instruction, Opcode, int_reg
+from repro.harness import presets
 
-from _common import emit, once
+from _common import emit, footer, run_preset
 
-# Figure register assignment: rA..rH = r1..r8, rX = r9, rY = r10,
-# figure's r0..r14 = our r11..r25.
-_REG_BASE = 11
+PRESET = presets.get("fig12")
 
 
-def _load(dest, addr_reg):
-    return Instruction(Opcode.LOAD, dest=int_reg(dest),
-                       srcs=(int_reg(addr_reg),), imm=0)
+def test_fig12_taint_table(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
+    res = result.one("taint")["result"]
+    assert res["rows"], "taint trial produced no rows"
+    assert not res["mismatches"], \
+        f"Fig. 12 cells differ: {res['mismatches']}"
 
-def _alu(op, dest, a, b):
-    return Instruction(op, dest=int_reg(dest),
-                       srcs=(int_reg(a), int_reg(b)))
-
-
-def out(n):
-    return n + _REG_BASE
-
-
-#: (label, instruction, expected Btag, expected IS) per Fig. 12 row.
-def fig12_rows():
-    rA, rB, rC, rD, rE, rF, rG, rH, rX, rY = range(1, 11)
-    return [
-        ("load r0 (rA)", _load(out(0), rA), "B1,0", "0"),
-        ("r1 = rB + rX", _alu(Opcode.ADD, out(1), rB, rX), None, None),
-        ("load r2 (r1)", _load(out(2), out(1)), "B1,1", "B1"),
-        ("r3 = rC * r2", _alu(Opcode.MUL, out(3), rC, out(2)), None, None),
-        ("r4 = rD - rY", _alu(Opcode.SUB, out(4), rD, rY), None, None),
-        ("load r5 (r4)", _load(out(5), out(4)), "B2,1", "B2"),
-        ("r6 = r5 + r2", _alu(Opcode.ADD, out(6), out(5), out(2)),
-         None, None),
-        ("load r7 (r6)", _load(out(7), out(6)), "B2,2", "B1, B2"),
-        ("r8 = r3 - rE", _alu(Opcode.SUB, out(8), out(3), rE), None, None),
-        ("load r9 (r8)", _load(out(9), out(8)), "B1,2", "B1"),
-        ("r10 = rF + r9", _alu(Opcode.ADD, out(10), rF, out(9)),
-         None, None),
-        ("load r11 (r10)", _load(out(11), out(10)), "0", "B1"),
-        ("r12 = rG * r7", _alu(Opcode.MUL, out(12), rG, out(7)),
-         None, None),
-        ("load r13 (r12)", _load(out(13), out(12)), "0", "B1, B2"),
-        ("load r14 (rH)", _load(out(14), rH), "0", "0"),
-    ]
-
-
-def run_fig12():
-    rX, rY = 9, 10
-    tracker = TaintTracker(untrusted_regs=(int_reg(rX), int_reg(rY)))
-    rows = fig12_rows()
-    # Scope layout mirrors the figure: B1 wraps rows 0-9 (ends before
-    # "r10 = ..."), B2 wraps rows 4-7.
-    b1 = tracker.open_scope(0, end_pc=10 * 4, predicted_taken=False)
-    names = {b1.scope_id: "B1"}
-    table_rows = []
-    for index, (label, instr, want_btag, want_is) in enumerate(rows):
-        if index == 4:
-            b2 = tracker.open_scope(index * 4, end_pc=8 * 4,
-                                    predicted_taken=False)
-            names[b2.scope_id] = "B2"
-        info = tracker.on_instruction(index * 4, instr)
-        got_btag = info.render_btag(names)
-        got_is = info.render_is(names)
-        table_rows.append((label, want_btag, got_btag, want_is, got_is))
-    return table_rows
-
-
-def test_fig12_taint_table(benchmark):
-    table_rows = once(benchmark, run_fig12)
-
-    mismatches = []
-    display = []
-    for label, want_btag, got_btag, want_is, got_is in table_rows:
-        is_load = want_btag is not None
-        if is_load:
-            if got_btag != want_btag or got_is != want_is:
-                mismatches.append(label)
-            display.append((label, want_btag, got_btag, want_is, got_is,
-                            "ok" if label not in mismatches else "MISMATCH"))
-        else:
-            display.append((label, "-", "-", "-", "-", ""))
-    assert not mismatches, f"Fig. 12 cells differ: {mismatches}"
-
-    table = format_table(
-        ["instr", "Btag (paper)", "Btag (ours)", "IS (paper)", "IS (ours)",
-         ""], display)
-    emit("fig12_taint",
-         f"{table}\n\nevery Btag and IS cell matches Fig. 12.")
+    emit("fig12_taint", PRESET.render(result) + footer(result))

@@ -4,44 +4,25 @@ Paper: once runahead opens the speculative window, PHT, BTB and RSB
 mispredictions can all be nested inside it — SpectreBTB via an aliased/
 poisoned target buffer entry, SpectreRSB via a direct stack overwrite
 (Fig. 4b) and via flushing the victim's stack (Fig. 4c).
+
+The sweep grid lives in the ``fig4`` harness preset; the quick tier
+covers pht + rsb-flush.
 """
 
-import pytest
+from repro.harness import presets
 
-from repro.analysis import format_table
-from repro.attack import run_specrun
+from _common import emit, footer, run_preset
 
-from _common import emit, once
-
-VARIANTS = ["pht", "btb", "rsb-overwrite", "rsb-flush"]
+PRESET = presets.get("fig4")
 
 
-def run_matrix():
-    results = {}
-    for variant in VARIANTS:
-        results[variant] = run_specrun(variant)
-    return results
+def test_fig4_spectre_variants(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
+    attacks = result.results("attack")
+    assert attacks, "sweep produced no attack records"
+    for res in attacks:
+        assert res["succeeded"], \
+            f"{res['variant']}: recovered {res['recovered']}"
 
-def test_fig4_spectre_variants(benchmark):
-    results = once(benchmark, run_matrix)
-
-    for variant, result in results.items():
-        assert result.succeeded, f"{variant}: {result.describe()}"
-
-    rows = []
-    for variant in VARIANTS:
-        result = results[variant]
-        rows.append((variant,
-                     result.recovered_secret,
-                     result.stats.runahead_episodes,
-                     result.stats.inv_branches,
-                     result.stats.runahead_prefetches))
-    table = format_table(
-        ["variant", "recovered secret", "episodes", "unresolved branches",
-         "prefetches"], rows)
-    emit("fig4_spectre_variants",
-         f"{table}\n\nplanted secret: 86 — every Fig. 4 variant leaks "
-         "under runahead.\n"
-         "rsb-flush models ret2spec-style RSB/stack desync; the stalling\n"
-         "load is the victim's own return-address read (Fig. 4c).")
+    emit("fig4_spectre_variants", PRESET.render(result) + footer(result))

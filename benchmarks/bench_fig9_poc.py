@@ -4,35 +4,27 @@ Paper: a significant latency drop at index 86 identifies the secret.
 The reproduction must recover the planted secret with a single
 unambiguous dip; absolute cycle counts differ (our memory path is
 242 cycles end to end), the shape must match.
+
+The trial lives in the ``fig9`` harness preset.
 """
 
-from repro.analysis import format_latency_plot
-from repro.attack import run_specrun
+from repro.harness import presets
 
-from _common import emit, once
+from _common import emit, footer, run_preset
 
+PRESET = presets.get("fig9")
 SECRET = 86
 
 
-def test_fig9_probe_timing(benchmark):
-    result = once(benchmark, lambda: run_specrun("pht", secret_value=SECRET))
+def test_fig9_probe_timing(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
-    assert result.succeeded
-    assert result.recovered_secret == SECRET
-    dip = result.latencies[SECRET]
-    others = [lat for i, lat in enumerate(result.latencies) if i != SECRET]
+    res = result.one("attack", variant="pht")["result"]
+    assert res["succeeded"]
+    assert res["recovered"] == SECRET
+    dip = res["latencies"][SECRET]
+    others = [lat for i, lat in enumerate(res["latencies"]) if i != SECRET]
     assert dip < 50
     assert min(others) > 150
 
-    plot = format_latency_plot(
-        result.latencies, title="probe access time (cycles) per index:")
-    emit("fig9_poc",
-         f"{plot}\n\n"
-         f"planted secret       : {SECRET}\n"
-         f"recovered            : {result.recovered_secret}\n"
-         f"dip latency          : {dip} cycles\n"
-         f"median probe latency : "
-         f"{sorted(result.latencies)[len(result.latencies) // 2]} cycles\n"
-         f"runahead episodes    : {result.stats.runahead_episodes}\n"
-         f"unresolved branches  : {result.stats.inv_branches}\n"
-         f"(paper: drop at index 86, ~100 vs ~350 cycles)")
+    emit("fig9_poc", PRESET.render(result) + footer(result))

@@ -4,53 +4,30 @@ Paper: precise runahead (HPCA'20) still resolves front-end branches from
 the predictor, and vector runahead (ISCA'21) takes branch directions
 from the first vector lane — both inherit the unresolved-INV-branch
 window, so SPECRUN applies to all of them.
+
+The controller axis is the ``sec43`` harness preset; the quick tier
+covers original + precise.
 """
 
-from repro.analysis import format_table
-from repro.attack import run_specrun
-from repro.runahead import OriginalRunahead, PreciseRunahead, VectorRunahead
+from repro.harness import presets
 
-from _common import emit, once
+from _common import emit, footer, run_preset
 
-CONTROLLERS = [OriginalRunahead, PreciseRunahead, VectorRunahead]
+PRESET = presets.get("sec43")
 
 
-def run_matrix():
-    results = {}
-    for cls in CONTROLLERS:
-        controller = cls()
-        results[controller.name] = (controller,
-                                    run_specrun("pht", runahead=controller))
-    return results
+def test_sec43_runahead_variants(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
+    attacks = result.results("attack")
+    assert attacks, "sweep produced no attack records"
+    by_machine = {res["runahead"]: res for res in attacks}
+    for name, res in by_machine.items():
+        assert res["succeeded"], f"{name}: recovered {res['recovered']}"
 
-def test_sec43_runahead_variants(benchmark):
-    results = once(benchmark, run_matrix)
-
-    for name, (controller, result) in results.items():
-        assert result.succeeded, f"{name}: {result.describe()}"
-
-    precise_ctrl, precise_result = results["precise"]
-    assert precise_result.stats.filtered_instructions > 0, \
+    assert by_machine["precise"]["stats"]["filtered_instructions"] > 0, \
         "precise runahead must actually filter non-slice work"
+    if not sweep_opts["quick"]:
+        assert set(by_machine) == {"original", "precise", "vector"}
 
-    rows = []
-    for name, (controller, result) in results.items():
-        extra = ""
-        if name == "precise":
-            extra = f"filtered={result.stats.filtered_instructions}"
-        elif name == "vector":
-            extra = f"vector-prefetches={result.stats.vector_prefetches}"
-        rows.append((name, result.recovered_secret,
-                     result.stats.runahead_episodes,
-                     result.stats.runahead_prefetches, extra))
-    table = format_table(
-        ["runahead variant", "recovered secret", "episodes", "prefetches",
-         "variant-specific"], rows)
-    emit("sec43_runahead_variants",
-         f"{table}\n\nall three runahead designs leak the planted secret "
-         "(paper §4.3).\n"
-         "note: the attack probe walks the array in a permuted order — \n"
-         "the standard real-PoC defence against stride prefetching, which\n"
-         "vector runahead would otherwise trigger on the attacker's own\n"
-         "probe loads.")
+    emit("sec43_runahead_variants", PRESET.render(result) + footer(result))

@@ -5,82 +5,37 @@ restriction) must block every attack variant that leaks on insecure
 runahead.  Performance: the paper warns the countermeasures "may lead to
 increased overhead"; this bench quantifies it on the Fig. 7 suite as the
 fraction of runahead's speedup each defense retains.
+
+Both the attack matrix and the perf comparison are one ``sec6`` harness
+sweep; the quick tier covers pht + rsb-flush and the gems kernel.
 """
 
-from repro.analysis import format_table
-from repro.attack import run_specrun
-from repro.defense import BranchRestrictedRunahead, SecureRunahead
-from repro.runahead import NoRunahead, OriginalRunahead
-from repro.workloads import ipc_comparison, spec_like_suite
+from repro.harness import presets
+from repro.harness.presets import DEFENSE_MACHINES
 
-from _common import emit, once
+from _common import emit, footer, run_preset
 
-ATTACKS = ["pht", "btb", "rsb-overwrite", "rsb-flush"]
-MACHINES = [("original", OriginalRunahead),
-            ("secure", SecureRunahead),
-            ("branch-skip", BranchRestrictedRunahead)]
-PERF_KERNELS = ("lbm", "mcf", "gems")
+PRESET = presets.get("sec6")
 
 
-def run_security_matrix():
-    matrix = {}
-    for label, cls in MACHINES:
-        for variant in ATTACKS:
-            matrix[(label, variant)] = run_specrun(variant, runahead=cls())
-    return matrix
-
-
-def run_perf():
-    suite = spec_like_suite()
-    perf = {}
-    for label, cls in MACHINES:
-        for name in PERF_KERNELS:
-            _, stats, speedup = ipc_comparison(
-                suite[name], NoRunahead(), cls())
-            perf[(label, name)] = (stats.ipc, speedup)
-    return perf
-
-
-def test_sec6_defense(benchmark):
-    matrix, perf = once(benchmark, lambda: (run_security_matrix(),
-                                            run_perf()))
+def test_sec6_defense(benchmark, sweep_opts):
+    result = run_preset(PRESET, benchmark, sweep_opts)
 
     # Security: insecure leaks everywhere, defenses leak nowhere.
-    for variant in ATTACKS:
-        assert matrix[("original", variant)].succeeded, variant
-        assert not matrix[("secure", variant)].leaked, variant
-        assert not matrix[("branch-skip", variant)].leaked, variant
+    attacks = result.results("attack")
+    assert attacks, "sweep produced no attack records"
+    variants = sorted({res["variant"] for res in attacks})
+    by_cell = {(res["runahead"], res["variant"]): res for res in attacks}
+    for variant in variants:
+        assert by_cell[("original", variant)]["succeeded"], variant
+        assert not by_cell[("secure", variant)]["leaked"], variant
+        assert not by_cell[("branch-skip", variant)]["leaked"], variant
 
     # Performance: both defenses must retain a benefit over no-runahead
     # on at least the streaming kernels (they may lose some of it).
-    for label, _ in MACHINES:
-        assert perf[(label, "gems")][1] > 1.0
+    for machine in DEFENSE_MACHINES:
+        gems = result.one("ipc", workload="gems",
+                          contender=machine)["result"]
+        assert gems["speedup"] > 1.0, machine
 
-    sec_rows = []
-    for variant in ATTACKS:
-        sec_rows.append(
-            (variant,
-             *(("LEAK " + str(matrix[(label, variant)].recovered_secret))
-               if matrix[(label, variant)].leaked else "blocked"
-               for label, _ in MACHINES)))
-    sec_table = format_table(
-        ["attack variant"] + [label for label, _ in MACHINES], sec_rows)
-
-    perf_rows = []
-    for name in PERF_KERNELS:
-        row = [name]
-        for label, _ in MACHINES:
-            ipc, speedup = perf[(label, name)]
-            row.append(f"{speedup:.3f}x")
-        perf_rows.append(row)
-    perf_table = format_table(
-        ["kernel"] + [f"{label} speedup" for label, _ in MACHINES],
-        perf_rows)
-
-    emit("sec6_defense",
-         "security (attack outcome per machine):\n" + sec_table +
-         "\n\nperformance (speedup over no-runahead, higher = more of the"
-         "\nrunahead benefit retained):\n" + perf_table +
-         "\n\nsecure runahead quarantines fills in the SL cache and"
-         "\npromotes them on first use after the guarding branches"
-         "\nresolve; branch-skip refuses to speculate past INV branches.")
+    emit("sec6_defense", PRESET.render(result) + footer(result))

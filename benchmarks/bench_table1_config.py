@@ -1,39 +1,20 @@
 """Table 1: the processor configuration.
 
 Verifies that ``CoreConfig.paper()`` instantiates exactly the machine of
-Table 1 and times a reference run on it (the PoC's victim warm path).
+Table 1 and times a reference run on it (the PoC's victim warm path),
+driven through the ``table1`` harness preset.
 """
 
-from repro.analysis import format_table
+from repro.harness import presets
 from repro.isa.instructions import FuKind
-from repro.pipeline import Core, CoreConfig
-from repro import MemoryImage, assemble
+from repro.pipeline import CoreConfig
 
-from _common import emit, once
+from _common import emit, footer, run_preset
 
-
-def build_reference_run():
-    image = MemoryImage()
-    image.alloc_array("data", 64)
-    program = assemble("""
-        li r1, @data
-        li r2, 64
-    loop:
-        load r3, r1, 0
-        addi r1, r1, 8
-        addi r2, r2, -1
-        bne r2, r0, loop
-        halt
-    """, memory_image=image)
-    def run():
-        core = Core(program, memory_image=image, config=CoreConfig.paper(),
-                    warm_icache=True)
-        core.run()
-        return core
-    return run
+PRESET = presets.get("table1")
 
 
-def test_table1_configuration(benchmark):
+def test_table1_configuration(benchmark, sweep_opts):
     config = CoreConfig.paper()
     h = config.hierarchy
 
@@ -56,29 +37,9 @@ def test_table1_configuration(benchmark):
     assert (h.l3.size_bytes, h.l3.assoc, h.l3.latency) == (4194304, 8, 32)
     assert h.mem_latency == 200
 
-    core = once(benchmark, build_reference_run())
-    assert core.halted
+    result = run_preset(PRESET, benchmark, sweep_opts)
+    ref = result.one("run", workload="reference")["result"]
+    assert ref["halted"]
+    assert ref["cycles"] > 0
 
-    rows = [
-        ("Core", "out-of-order (cycle model)"),
-        ("Processor width", f"{config.width}-wide fetch/decode/dispatch/"
-                            "commit"),
-        ("Pipeline depth", f"{config.frontend_depth} front-end stages"),
-        ("Branch predictor", "two-level adaptive predictor"),
-        ("Functional units",
-         "4 int add (1cy), 2 int mult (2cy), 1 int div (5cy), "
-         "2 fp add (5cy), 1 fp mult (10cy), 1 fp div (15cy)"),
-        ("Register file", "80 int, 40 fp, 40 xmm"),
-        ("ROB", f"{config.rob_size} entries"),
-        ("Queues", f"i ({config.iq_size}), load ({config.lq_size}), "
-                   f"store ({config.sq_size})"),
-        ("L1 I-cache", "16KB, 4 way, 2 cycle"),
-        ("L1 D-cache", "16KB, 4 way, 2 cycle"),
-        ("L2 cache", "128KB, 8 way, 8 cycle"),
-        ("L3 cache", "4MB, 8 way, 32 cycle"),
-        ("Memory", f"request-based contention model, {h.mem_latency} cycle"),
-    ]
-    emit("table1_config",
-         format_table(["Component", "Parameter"], rows) +
-         f"\n\nreference run: {core.stats.cycles} cycles, "
-         f"IPC {core.stats.ipc:.3f}")
+    emit("table1_config", PRESET.render(result) + footer(result))

@@ -1,0 +1,22 @@
+"""Benchmark-suite options: the smoke tier and the worker count.
+
+``pytest benchmarks --quick`` runs every bench on its reduced CI grid
+(same code paths, fewer axis points); ``--workers N`` sets the harness
+worker-process count (default: $REPRO_WORKERS or min(4, cpus)).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro harness")
+    group.addoption("--quick", action="store_true", default=False,
+                    help="run the reduced smoke-tier sweep grids")
+    group.addoption("--workers", type=int, default=None,
+                    help="harness worker processes per sweep")
+
+
+@pytest.fixture
+def sweep_opts(request):
+    return {"quick": request.config.getoption("--quick"),
+            "workers": request.config.getoption("--workers")}

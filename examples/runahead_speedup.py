@@ -1,38 +1,37 @@
 #!/usr/bin/env python
 """Runahead performance on the Fig. 7 benchmark suite.
 
-Runs the six SPEC2006-shaped kernels on the Table-1 machine with and
-without runahead execution and prints the normalized-IPC comparison the
-paper reports in Fig. 7 (full sweep: ``benchmarks/bench_fig7_ipc.py``).
+Drives the six SPEC2006-shaped kernels through the experiment harness
+(``repro.harness``): the ``fig7`` preset declares the sweep, the
+executor fans it out across worker processes, and the on-disk result
+cache makes a second run of this script (or of
+``benchmarks/bench_fig7_ipc.py`` — same trials) near-instant.
+
+Try::
+
+    python examples/runahead_speedup.py            # full grid
+    python examples/runahead_speedup.py --quick    # CI smoke grid
 """
 
-from repro.analysis import format_bars, format_table
-from repro.workloads import geometric_mean_speedup, run_fig7
+import sys
+
+from repro.harness import presets, run_sweep
 
 
 def main():
-    print("Fig. 7: normalized IPC, no-runahead vs runahead (Table-1 core)")
-    print("running 6 kernels x 2 machines ...")
-    results = run_fig7()
-
-    rows = [(row["name"],
-             f"{row['ipc_base']:.3f}",
-             f"{row['ipc_runahead']:.3f}",
-             f"{row['speedup']:.3f}",
-             row["episodes"],
-             row["prefetches"]) for row in results]
+    quick = "--quick" in sys.argv[1:]
+    preset = presets.get("fig7")
+    sweep = preset.build(quick=quick)
+    print(f"Fig. 7: normalized IPC, no-runahead vs runahead "
+          f"({len(sweep)} trials)")
+    result = run_sweep(sweep, progress=lambda line: print(f"  {line}"))
     print()
-    print(format_table(
-        ["benchmark", "IPC base", "IPC runahead", "speedup", "episodes",
-         "prefetches"], rows))
+    print(preset.render(result))
     print()
-    print(format_bars([row["name"] for row in results],
-                      [row["speedup"] for row in results],
-                      unit="x"))
-    print()
-    mean = geometric_mean_speedup(results)
-    print(f"geometric-mean speedup: {mean:.3f}x "
-          f"(paper reports ~11% average improvement)")
+    print(result.describe())
+    if result.cache_hits:
+        print("(cached — delete the cache dir or pass force=True to "
+              "recompute)")
 
 
 if __name__ == "__main__":

@@ -8,41 +8,41 @@ Runs the identical attack program against three machines:
 * branch-skip restriction      — blocked.
 
 Then shows the performance cost of each defense on a memory-bound
-workload (full sweep: ``benchmarks/bench_sec6_defense.py``).
+workload.  Both halves are one harness sweep (the quick tier of the
+``sec6`` preset; full grid: ``benchmarks/bench_sec6_defense.py``).
 """
 
-from repro.attack import run_specrun
-from repro.defense import BranchRestrictedRunahead, SecureRunahead
-from repro.runahead import NoRunahead, OriginalRunahead
-from repro.workloads import build_gems_like, ipc_comparison
+from repro.harness import presets, run_sweep
+from repro.harness.presets import DEFENSE_MACHINES
+
+LABELS = {"original": "original runahead", "secure": "secure runahead   ",
+          "branch-skip": "branch-skip       "}
 
 
 def main():
+    preset = presets.get("sec6")
+    result = run_sweep(preset.build(quick=True))
+
     print("=== SPECRUN vs the Section-6 defenses ===")
-    machines = [
-        ("original runahead", OriginalRunahead),
-        ("secure runahead   ", SecureRunahead),
-        ("branch-skip       ", BranchRestrictedRunahead),
-    ]
-    for label, controller_cls in machines:
-        result = run_specrun("pht", runahead=controller_cls())
-        verdict = "LEAKED" if result.leaked else "blocked"
-        detail = f" -> recovered {result.recovered_secret}" \
-            if result.leaked else ""
-        print(f"  {label}: {verdict}{detail}")
+    for machine in DEFENSE_MACHINES:
+        res = result.one("attack", variant="pht", runahead=machine)["result"]
+        verdict = "LEAKED" if res["leaked"] else "blocked"
+        detail = f" -> recovered {res['recovered']}" if res["leaked"] else ""
+        print(f"  {LABELS[machine]}: {verdict}{detail}")
 
     print()
     print("=== performance retained on a memory-bound kernel (gems) ===")
-    workload = build_gems_like()
-    for label, controller_cls in machines:
-        _, stats, speedup = ipc_comparison(workload, NoRunahead(),
-                                           controller_cls())
-        print(f"  {label}: IPC {stats.ipc:.3f}  "
-              f"speedup over no-runahead {speedup:.3f}x")
+    for machine in DEFENSE_MACHINES:
+        res = result.one("ipc", workload="gems",
+                         contender=machine)["result"]
+        print(f"  {LABELS[machine]}: IPC {res['ipc_contender']:.3f}  "
+              f"speedup over no-runahead {res['speedup']:.3f}x")
     print()
     print("secure runahead keeps most of the prefetch benefit (quarantined")
     print("fills promote to L1 on first use); branch-skip loses the slices")
     print("behind data-dependent branches.")
+    print()
+    print(result.describe())
 
 
 if __name__ == "__main__":

@@ -5,32 +5,33 @@ variants (§4.3).
 Every cell of the matrix runs the full attack pipeline; the paper's
 claim is that the mixed optimization (runahead + any branch predictor
 structure) is exploitable for each combination.
+
+This example builds the 4x3 matrix as a *custom* harness sweep — a
+cartesian :meth:`Sweep.grid` over attack variant and runahead
+controller — rather than using a canned preset, showing how to declare
+your own experiment and still get sharded execution and result caching.
 """
 
-from repro.analysis import format_table
-from repro.attack import run_specrun
-from repro.runahead import OriginalRunahead, PreciseRunahead, VectorRunahead
+from repro.harness import Sweep, attack_matrix, run_sweep
 
 VARIANTS = ["pht", "btb", "rsb-overwrite", "rsb-flush"]
-CONTROLLERS = [OriginalRunahead, PreciseRunahead, VectorRunahead]
+CONTROLLERS = ["original", "precise", "vector"]
 
 
 def main():
-    print("attack variant x runahead variant matrix "
-          "(cell = recovered secret or 'no leak')")
-    rows = []
-    for variant in VARIANTS:
-        row = [variant]
-        for controller_cls in CONTROLLERS:
-            result = run_specrun(variant, runahead=controller_cls())
-            row.append(str(result.recovered_secret)
-                       if result.leaked else "no leak")
-        rows.append(row)
+    sweep = Sweep.grid("spectre-matrix", "attack",
+                       variant=VARIANTS, runahead=CONTROLLERS)
+    print(f"attack variant x runahead variant matrix "
+          f"({len(sweep)} attack runs; cell = outcome)")
+    result = run_sweep(sweep, progress=lambda line: print(f"  {line}"))
     print()
-    print(format_table(
-        ["variant"] + [cls.name for cls in CONTROLLERS], rows))
+    print(attack_matrix(result.results("attack"),
+                        rows=VARIANTS, cols=CONTROLLERS))
     print()
-    print("planted secret is 86 everywhere: every combination leaks.")
+    leaks = sum(res["leaked"] for res in result.results("attack"))
+    print(f"planted secret is 86 everywhere: {leaks}/{len(sweep)} "
+          "combinations leak.")
+    print(result.describe())
 
 
 if __name__ == "__main__":

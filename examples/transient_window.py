@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Transient-window measurement (paper Fig. 10 / §5.3).
+"""Transient-window measurement (paper Fig. 10 / §5.3 and Fig. 11).
 
 How many instructions can execute transiently behind a flushed load?
 
@@ -8,39 +8,33 @@ How many instructions can execute transiently behind a flushed load?
 * N3: runahead + an attacker thread re-flushing the stalling line just
   before its fill returns — the runahead interval is prolonged.
 
-Also demonstrates Fig. 11: a gadget padded beyond the ROB leaks only on
-the runahead machine.
+Both figures run as harness presets (``fig10``, ``fig11``), so repeated
+invocations hit the result cache and each scenario can execute in its
+own worker process.
 """
 
-from repro.analysis import format_table
-from repro.attack import measure_fig10, rob_limit_comparison
+from repro.harness import presets, run_sweep
 
 
 def main():
+    fig10 = presets.get("fig10")
+    result = run_sweep(fig10.build())
     print("=== Fig. 10: transient window size ===")
-    n1, n2, n3 = measure_fig10()
-    rows = [
-        ("N1 (normal, flush once)", n1.window, n1.pseudo_retired, n1.cycles),
-        ("N2 (runahead, flush once)", n2.window, n2.pseudo_retired,
-         n2.cycles),
-        ("N3 (runahead, flush repeatedly)", n3.window, n3.pseudo_retired,
-         n3.cycles),
-    ]
-    print(format_table(["scenario", "window", "pseudo-retired", "cycles"],
-                       rows))
-    print(f"paper: N1=255, N2=480, N3=840 (ROB = 256)")
-    print(f"ours reproduces the ordering: {n1.window} < {n2.window} < "
-          f"{n3.window}")
+    print(fig10.render(result))
+    n_windows = [rec["result"]["window"] for rec in result.select("window")]
+    print(f"ours reproduces the ordering: "
+          f"{' < '.join(str(w) for w in n_windows)}")
 
     print()
     print("=== Fig. 11: leaking beyond the ROB ===")
-    padding = 300
-    print(f"gadget padded with {padding} nops (> 256-entry ROB) ...")
-    baseline, runahead = rob_limit_comparison(nop_padding=padding)
+    fig11 = presets.get("fig11")
+    result11 = run_sweep(fig11.build())
+    baseline = result11.one("attack", runahead="none")["result"]
+    runahead = result11.one("attack", runahead="original")["result"]
     print(f"  no-runahead machine: "
-          f"{'LEAKED' if baseline.leaked else 'no leak'}")
+          f"{'LEAKED' if baseline['leaked'] else 'no leak'}")
     print(f"  runahead machine   : "
-          f"{'LEAKED, secret=' + str(runahead.recovered_secret) if runahead.leaked else 'no leak'}")
+          f"{'LEAKED, secret=' + str(runahead['recovered']) if runahead['leaked'] else 'no leak'}")
     print()
     print("runahead-based speculation reaches gadgets classic Spectre")
     print("cannot — 'introducing the risk of data leakage to initially")

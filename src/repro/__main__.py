@@ -1,0 +1,222 @@
+"""``python -m repro`` — run paper experiments from the command line.
+
+Subcommands
+-----------
+``repro sweep <preset>``
+    Build a paper-figure sweep, execute it (sharded, cached), print the
+    rendered report.  ``--quick`` runs the reduced CI grid, ``--out``
+    writes the canonical JSON, ``--list`` enumerates presets.
+``repro run <kind> [key=value ...]``
+    Execute one ad-hoc trial (``attack``, ``ipc``, ``window``, ``run``,
+    ``taint``) and print its result record as JSON.
+``repro report <file.json | preset>``
+    Render a previously saved sweep result, or re-render a preset from
+    the cache without recomputing anything that is already stored.
+``repro cache [--clear]``
+    Show (or empty) the on-disk result cache.
+
+Examples::
+
+    python -m repro sweep fig7 --workers 4
+    python -m repro run attack variant=pht runahead=original
+    python -m repro run window runahead=original config.rob_size=64
+    python -m repro report fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .harness import presets as preset_registry
+from .harness.cache import ResultCache, resolve_cache
+from .harness.executor import SweepResult, default_workers, run_sweep
+from .harness.runner import TrialError
+from .harness.spec import Sweep, Trial
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort literal parsing: int, float, bool, null, else str."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_assignments(pairs: List[str]) -> Dict[str, Any]:
+    """Turn ``a=1 config.rob_size=64`` into a nested params dict."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        target = params
+        parts = key.split(".")
+        for part in parts[:-1]:
+            target = target.setdefault(part, {})
+            if not isinstance(target, dict):
+                raise SystemExit(f"cannot nest under scalar key {part!r}")
+        target[parts[-1]] = _parse_value(raw)
+    return params
+
+
+def _cache_arg(args) -> Any:
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    return "auto"
+
+
+def _cmd_sweep(args) -> int:
+    if args.list or not args.preset:
+        for name in sorted(preset_registry.PRESETS):
+            preset = preset_registry.PRESETS[name]
+            print(f"{name:10s} {preset.title}")
+        return 0
+    preset = preset_registry.get(args.preset)
+    sweep = preset.build(quick=args.quick)
+    progress = None if args.json else (lambda line: print(line,
+                                                          file=sys.stderr))
+    result = run_sweep(sweep, workers=args.workers, cache=_cache_arg(args),
+                       force=args.force, progress=progress)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(f"== {preset.title} ==")
+        print(preset.render(result))
+        print()
+        print(result.describe())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    params = _parse_assignments(args.params)
+    trial = Trial(kind=args.kind, params=params)
+    cache = resolve_cache(_cache_arg(args))
+    result: Optional[Dict[str, Any]] = None
+    if cache is not None and not args.force:
+        result = cache.get(trial)
+    cached = result is not None
+    if result is None:
+        from .harness.runner import run_trial
+        result = run_trial(trial)
+        if cache is not None:
+            cache.put(trial, result)
+    record = {"trial": trial.to_dict(), "cached": cached, "result": result}
+    print(json.dumps(record, sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    source = args.source
+    if source.endswith(".json"):
+        with open(source, encoding="utf-8") as handle:
+            result = SweepResult.from_json(handle.read())
+        name = result.name
+    else:
+        preset = preset_registry.get(source)
+        result = run_sweep(preset.build(quick=args.quick), workers=1,
+                           cache=_cache_arg(args))
+        name = source
+    preset = preset_registry.get(name)
+    print(f"== {preset.title} ==")
+    print(preset.render(result))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(root=args.cache_dir) if args.cache_dir \
+        else ResultCache()
+    entries = list(cache.root.rglob("*.json")) if cache.root.exists() \
+        else []
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached records from {cache.root}")
+        return 0
+    print(f"cache root   : {cache.root}")
+    print(f"code version : {cache.code_version}")
+    print(f"records      : {len(entries)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPECRUN reproduction — experiment harness CLI")
+    sub = parser.add_subparsers(dest="command")
+
+    def add_common(p):
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+        p.add_argument("--cache-dir", help="cache root directory")
+        p.add_argument("--force", action="store_true",
+                       help="recompute even on cache hits")
+
+    p_sweep = sub.add_parser("sweep", help="run a paper-figure sweep")
+    p_sweep.add_argument("preset", nargs="?",
+                         help="preset name (omit with --list)")
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list available presets")
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="reduced smoke-tier grid")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help=f"worker processes "
+                              f"(default: $REPRO_WORKERS or "
+                              f"{default_workers()})")
+    p_sweep.add_argument("--out", help="write canonical result JSON here")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print canonical JSON instead of the report")
+    add_common(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_run = sub.add_parser("run", help="run one ad-hoc trial")
+    p_run.add_argument("kind",
+                       choices=("attack", "ipc", "window", "run", "taint"))
+    p_run.add_argument("params", nargs="*", metavar="key=value",
+                       help="trial params, dots nest "
+                            "(config.rob_size=64)")
+    add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render a saved sweep result or cached preset")
+    p_report.add_argument("source", help="result .json file or preset name")
+    p_report.add_argument("--quick", action="store_true",
+                          help="render the quick-tier grid of a preset")
+    add_common(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser("cache", help="inspect the result cache")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached record")
+    p_cache.add_argument("--cache-dir", help="cache root directory")
+    p_cache.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        # Registry/preset lookups raise with a "known: [...]" message.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    except (TrialError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""The Fig. 12 worked example of the Btag / IS tagging scheme.
+
+The paper's figure walks a 15-instruction machine-code fragment through
+the taint tracker and prints the branch tag (Btag) and
+influence-set (IS) cell for every load.  This module reproduces that
+fragment as library code so the benchmark, the harness and the CLI all
+run the same table.
+
+Figure register assignment: rA..rH = r1..r8, rX = r9, rY = r10, the
+figure's r0..r14 = our r11..r25.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.registers import int_reg
+from .taint import TaintTracker
+
+_REG_BASE = 11
+
+
+def _load(dest, addr_reg):
+    return Instruction(Opcode.LOAD, dest=int_reg(dest),
+                       srcs=(int_reg(addr_reg),), imm=0)
+
+
+def _alu(op, dest, a, b):
+    return Instruction(op, dest=int_reg(dest),
+                       srcs=(int_reg(a), int_reg(b)))
+
+
+def _out(n):
+    return n + _REG_BASE
+
+
+def fig12_program() -> List[Tuple[str, Instruction,
+                                  Optional[str], Optional[str]]]:
+    """(label, instruction, expected Btag, expected IS) per Fig. 12 row.
+
+    Expected cells are ``None`` for non-load rows (the figure only tags
+    loads).
+    """
+    rA, rB, rC, rD, rE, rF, rG, rH, rX, rY = range(1, 11)
+    return [
+        ("load r0 (rA)", _load(_out(0), rA), "B1,0", "0"),
+        ("r1 = rB + rX", _alu(Opcode.ADD, _out(1), rB, rX), None, None),
+        ("load r2 (r1)", _load(_out(2), _out(1)), "B1,1", "B1"),
+        ("r3 = rC * r2", _alu(Opcode.MUL, _out(3), rC, _out(2)), None, None),
+        ("r4 = rD - rY", _alu(Opcode.SUB, _out(4), rD, rY), None, None),
+        ("load r5 (r4)", _load(_out(5), _out(4)), "B2,1", "B2"),
+        ("r6 = r5 + r2", _alu(Opcode.ADD, _out(6), _out(5), _out(2)),
+         None, None),
+        ("load r7 (r6)", _load(_out(7), _out(6)), "B2,2", "B1, B2"),
+        ("r8 = r3 - rE", _alu(Opcode.SUB, _out(8), _out(3), rE), None, None),
+        ("load r9 (r8)", _load(_out(9), _out(8)), "B1,2", "B1"),
+        ("r10 = rF + r9", _alu(Opcode.ADD, _out(10), rF, _out(9)),
+         None, None),
+        ("load r11 (r10)", _load(_out(11), _out(10)), "0", "B1"),
+        ("r12 = rG * r7", _alu(Opcode.MUL, _out(12), rG, _out(7)),
+         None, None),
+        ("load r13 (r12)", _load(_out(13), _out(12)), "0", "B1, B2"),
+        ("load r14 (rH)", _load(_out(14), rH), "0", "0"),
+    ]
+
+
+def run_fig12() -> List[Tuple[str, Optional[str], str,
+                              Optional[str], str]]:
+    """Run the figure's fragment; returns
+    ``(label, want_btag, got_btag, want_is, got_is)`` per row.
+
+    ``want_*`` are ``None`` on non-load rows.  Scope layout mirrors the
+    figure: B1 wraps rows 0-9 (ends before "r10 = ..."), B2 wraps rows
+    4-7.
+    """
+    rX, rY = 9, 10
+    tracker = TaintTracker(untrusted_regs=(int_reg(rX), int_reg(rY)))
+    rows = fig12_program()
+    b1 = tracker.open_scope(0, end_pc=10 * 4, predicted_taken=False)
+    names = {b1.scope_id: "B1"}
+    table_rows = []
+    for index, (label, instr, want_btag, want_is) in enumerate(rows):
+        if index == 4:
+            b2 = tracker.open_scope(index * 4, end_pc=8 * 4,
+                                    predicted_taken=False)
+            names[b2.scope_id] = "B2"
+        info = tracker.on_instruction(index * 4, instr)
+        table_rows.append((label, want_btag, info.render_btag(names),
+                           want_is, info.render_is(names)))
+    return table_rows

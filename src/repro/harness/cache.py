@@ -1,0 +1,145 @@
+"""Content-addressed on-disk result cache.
+
+Cache key = SHA-256 of (trial spec canonical JSON, code fingerprint).
+The code fingerprint hashes every ``.py`` file of the installed
+``repro`` package, so any change to the simulator invalidates every
+cached record automatically — no manual versioning, no stale results
+after a refactor.  Changing a trial's config changes its spec and
+therefore its key, giving per-trial invalidation for free.
+
+Records are JSON files under ``<root>/<key[:2]>/<key>.json`` so a CI
+cache restore is a plain directory copy.  The default root is
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-specrun``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from .spec import Trial, canonical_json
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable that disables caching entirely when set to "1".
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+_RECORD_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-specrun"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every .py file of the repro package (path + bytes)."""
+    import repro
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Maps trial specs to stored result records.
+
+    ``get``/``put`` never raise on I/O problems — a broken cache entry
+    or an unwritable directory degrades to a miss, because the cache
+    must never change experiment outcomes.
+    """
+
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 code_version: Optional[str] = None):
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.code_version = code_version or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, trial: Trial) -> str:
+        payload = canonical_json({"code": self.code_version,
+                                  "trial": json.loads(trial.canonical())})
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, trial: Trial) -> Optional[Dict[str, Any]]:
+        """Return the cached result payload for this trial, or None."""
+        path = self._path(self.key(trial))
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if record.get("version") != _RECORD_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["result"]
+
+    def put(self, trial: Trial, result: Dict[str, Any]) -> None:
+        key = self.key(trial)
+        path = self._path(key)
+        record = {
+            "version": _RECORD_VERSION,
+            "key": key,
+            "code": self.code_version,
+            "trial": trial.to_dict(),
+            "result": result,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record, sort_keys=True, indent=1),
+                           encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every record under the cache root; returns the count."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        return (f"cache {self.root} (code {self.code_version[:12]}): "
+                f"{self.hits} hits, {self.misses} misses")
+
+
+def resolve_cache(cache="auto") -> Optional[ResultCache]:
+    """Turn the executor's ``cache`` argument into a ResultCache or None.
+
+    "auto" builds the default cache unless ``$REPRO_NO_CACHE=1``;
+    ``None``/False disables; an existing :class:`ResultCache` passes
+    through; a path-like builds a cache rooted there.
+    """
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache == "auto":
+        if os.environ.get(CACHE_DISABLE_ENV) == "1":
+            return None
+        return ResultCache()
+    return ResultCache(root=pathlib.Path(cache))

@@ -1,0 +1,212 @@
+"""Sharded sweep execution with deterministic, ordered results.
+
+``run_sweep`` fans cache-missing trials out across ``multiprocessing``
+workers and reassembles results **in trial order**, so the aggregated
+output of a sweep is byte-identical no matter how many workers ran it
+(or how the OS scheduled them).  Each trial is self-contained — the
+worker resolves names to fresh simulator objects via the registry, and
+the simulator itself is fully deterministic — so sharding cannot change
+any measurement.  (A trial's ``seed`` is part of its spec and cache
+key, reserved for future stochastic workloads; current runners don't
+consume it.)
+
+All cache I/O happens in the parent process: workers only compute.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .cache import ResultCache, resolve_cache
+from .runner import TrialError, run_trial
+from .spec import Sweep, Trial
+
+#: Environment variable providing the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return min(4, os.cpu_count() or 1)
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of one sweep run.
+
+    ``records[i]`` corresponds to ``sweep.trials[i]`` and contains the
+    deterministic payload only; volatile run metadata (cache hits,
+    wall-clock) lives on the result object itself so ``to_json`` stays
+    byte-stable across runs and worker counts.
+    """
+
+    name: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    cached: List[bool] = field(default_factory=list)
+    workers: int = 1
+    elapsed: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @staticmethod
+    def _lookup(mapping: Dict[str, Any], dotted: str):
+        value: Any = mapping
+        for part in dotted.split("."):
+            if not isinstance(value, dict) or part not in value:
+                return None
+            value = value[part]
+        return value
+
+    def select(self, kind: Optional[str] = None,
+               pred: Optional[Callable[[Dict[str, Any]], bool]] = None,
+               **filters) -> List[Dict[str, Any]]:
+        """Records matching a kind and parameter equalities.
+
+        Filter keys address trial params; dots descend into nested
+        dicts, with ``__`` accepted as a dot stand-in for keyword use
+        (``config__rob_size=64``).
+        """
+        out = []
+        for record in self.records:
+            if kind is not None and record["kind"] != kind:
+                continue
+            params = record["params"]
+            if any(self._lookup(params, key.replace("__", ".")) != want
+                   for key, want in filters.items()):
+                continue
+            if pred is not None and not pred(record):
+                continue
+            out.append(record)
+        return out
+
+    def one(self, kind: Optional[str] = None, **filters) -> Dict[str, Any]:
+        matches = self.select(kind=kind, **filters)
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one record for kind={kind} {filters}, "
+                f"got {len(matches)}")
+        return matches[0]
+
+    def results(self, kind: Optional[str] = None,
+                **filters) -> List[Dict[str, Any]]:
+        """Just the result payloads of matching records."""
+        return [r["result"] for r in self.select(kind=kind, **filters)]
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical encoding — byte-identical for identical sweeps."""
+        return json.dumps({"sweep": self.name, "records": self.records},
+                          sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        data = json.loads(text)
+        return cls(name=data["sweep"], records=data["records"],
+                   cached=[False] * len(data["records"]))
+
+    def describe(self) -> str:
+        total = len(self.records)
+        return (f"sweep {self.name}: {total} trials, "
+                f"{self.cache_hits} cached, {self.cache_misses} computed, "
+                f"{self.workers} worker(s), {self.elapsed:.2f}s")
+
+
+def _make_record(trial: Trial, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"kind": trial.kind, "label": trial.label,
+            "params": trial.params, "seed": trial.seed,
+            "spec_hash": trial.spec_hash(), "result": result}
+
+
+def _worker(payload: Tuple[int, Dict[str, Any]]) \
+        -> Tuple[int, Optional[Dict[str, Any]], Optional[str]]:
+    index, trial_dict = payload
+    try:
+        return index, run_trial(Trial.from_dict(trial_dict)), None
+    except Exception as exc:   # surfaced in the parent as TrialError
+        return index, None, f"{type(exc).__name__}: {exc}"
+
+
+def run_sweep(sweep: Sweep, workers: Optional[int] = None, cache="auto",
+              force: bool = False,
+              progress: Optional[Callable[[str], None]] = None) \
+        -> SweepResult:
+    """Execute every trial of ``sweep``; results come back in trial order.
+
+    Parameters
+    ----------
+    workers:
+        Process count for the cache-missing trials.  ``None`` reads
+        ``$REPRO_WORKERS`` (default: min(4, cpu count)); 1 runs inline.
+    cache:
+        "auto" (default on-disk cache, honouring ``$REPRO_NO_CACHE``),
+        ``None`` to disable, a :class:`ResultCache`, or a directory path.
+    force:
+        Recompute every trial even on a cache hit (fresh results are
+        still written back).
+    progress:
+        Optional callable receiving one line per trial state change.
+    """
+    started = time.monotonic()
+    workers = default_workers() if workers is None else max(1, workers)
+    store: Optional[ResultCache] = resolve_cache(cache)
+    say = progress or (lambda line: None)
+
+    records: List[Optional[Dict[str, Any]]] = [None] * len(sweep.trials)
+    cached_flags = [False] * len(sweep.trials)
+    pending: List[Tuple[int, Trial]] = []
+
+    for index, trial in enumerate(sweep.trials):
+        hit = None if (store is None or force) else store.get(trial)
+        if hit is not None:
+            records[index] = _make_record(trial, hit)
+            cached_flags[index] = True
+            say(f"[{index + 1}/{len(sweep.trials)}] {trial.label}: cached")
+        else:
+            pending.append((index, trial))
+
+    def finish(index: int, trial: Trial, result: Dict[str, Any]):
+        records[index] = _make_record(trial, result)
+        if store is not None:
+            store.put(trial, result)
+        say(f"[{index + 1}/{len(sweep.trials)}] {trial.label}: done")
+
+    if len(pending) <= 1 or workers == 1:
+        for index, trial in pending:
+            finish(index, trial, run_trial(trial))
+    else:
+        by_index = {index: trial for index, trial in pending}
+        jobs = [(index, trial.to_dict()) for index, trial in pending]
+        procs = min(workers, len(pending))
+        with multiprocessing.Pool(processes=procs) as pool:
+            for index, result, error in pool.imap_unordered(
+                    _worker, jobs, chunksize=1):
+                if error is not None:
+                    pool.terminate()
+                    raise TrialError(
+                        f"trial {by_index[index].label!r} failed in "
+                        f"worker: {error}")
+                finish(index, by_index[index], result)
+
+    return SweepResult(
+        name=sweep.name,
+        records=[r for r in records if r is not None],
+        cached=cached_flags,
+        workers=workers,
+        elapsed=time.monotonic() - started,
+        cache_hits=store.hits if store else 0,
+        cache_misses=len(pending))

@@ -1,0 +1,165 @@
+"""Trial execution: turn a :class:`~repro.harness.spec.Trial` into a
+JSON-serializable result record.
+
+Every trial kind resolves its named parameters through
+:mod:`repro.harness.registry`, builds fresh simulator objects, runs the
+measurement, and returns plain data.  Nothing here keeps state between
+trials — that is what makes trials safe to fan out across processes and
+to cache by content hash.
+
+Trial kinds and their parameters (all optional unless noted):
+
+``attack``
+    ``variant`` (required), ``runahead`` + ``runahead_kwargs``,
+    ``config_base``/``config``, ``secret_value``, ``nop_padding``.
+``ipc``
+    ``workload`` (required), ``baseline`` (default no-runahead),
+    ``contender`` (default original) + ``contender_kwargs``,
+    ``config_base``/``config``, ``max_cycles``.
+``window``
+    ``runahead``, ``async_flushes``, ``sled``,
+    ``config_base``/``config``.
+``run``
+    ``workload`` (required), ``runahead`` + ``runahead_kwargs``,
+    ``config_base``/``config``, ``max_cycles``.
+``taint``
+    no parameters — the Fig. 12 worked example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from ..attack.specrun import SpecRunAttack
+from ..attack.window import measure_window
+from ..defense.taint_demo import run_fig12
+from .registry import get_workload, make_config, make_controller
+from .spec import Trial
+
+
+class TrialError(RuntimeError):
+    """A trial failed; carries the trial label for diagnostics."""
+
+
+def _stats_dict(stats) -> Dict[str, Any]:
+    return dataclasses.asdict(stats)
+
+
+def _config_from(params) -> Any:
+    return make_config(params.get("config_base", "paper"),
+                       params.get("config"))
+
+
+def _run_attack(trial: Trial) -> Dict[str, Any]:
+    params = trial.params
+    controller = make_controller(params.get("runahead", "original"),
+                                 **params.get("runahead_kwargs", {}))
+    gadget_kwargs = {}
+    for key in ("secret_value", "nop_padding"):
+        if key in params:
+            gadget_kwargs[key] = params[key]
+    attack = SpecRunAttack(variant=params["variant"], runahead=controller,
+                           config=_config_from(params), **gadget_kwargs)
+    result = attack.run(max_cycles=params.get("max_cycles", 3_000_000))
+    return {
+        "variant": params["variant"],
+        "runahead": result.runahead_name,
+        "secret": attack.attack.secret_value,
+        "leaked": result.leaked,
+        "recovered": result.recovered_secret,
+        "succeeded": result.succeeded,
+        "latencies": list(result.latencies),
+        "stats": _stats_dict(result.stats),
+    }
+
+
+def _run_ipc(trial: Trial) -> Dict[str, Any]:
+    params = trial.params
+    workload = get_workload(params["workload"])
+    config = _config_from(params)
+    max_cycles = params.get("max_cycles", 5_000_000)
+    baseline = make_controller(params.get("baseline", "none"),
+                               **params.get("baseline_kwargs", {}))
+    contender = make_controller(params.get("contender", "original"),
+                                **params.get("contender_kwargs", {}))
+    base = workload.run(runahead=baseline, config=config,
+                        max_cycles=max_cycles)
+    cont = workload.run(runahead=contender, config=config,
+                        max_cycles=max_cycles)
+    speedup = (cont.stats.ipc / base.stats.ipc) if base.stats.ipc else 0.0
+    return {
+        "workload": workload.name,
+        "memory_bound": workload.memory_bound,
+        "baseline": baseline.name,
+        "contender": contender.name,
+        "ipc_base": base.stats.ipc,
+        "ipc_contender": cont.stats.ipc,
+        "speedup": speedup,
+        "episodes": cont.stats.runahead_episodes,
+        "prefetches": cont.stats.runahead_prefetches,
+        "stats_base": _stats_dict(base.stats),
+        "stats_contender": _stats_dict(cont.stats),
+    }
+
+
+def _run_window(trial: Trial) -> Dict[str, Any]:
+    params = trial.params
+    controller = make_controller(params.get("runahead", "none"),
+                                 **params.get("runahead_kwargs", {}))
+    measurement = measure_window(
+        controller,
+        async_flushes=params.get("async_flushes", 0),
+        sled=params.get("sled", 4096),
+        config=_config_from(params))
+    return dataclasses.asdict(measurement)
+
+
+def _run_workload(trial: Trial) -> Dict[str, Any]:
+    params = trial.params
+    workload = get_workload(params["workload"])
+    controller = make_controller(params.get("runahead", "none"),
+                                 **params.get("runahead_kwargs", {}))
+    core = workload.run(runahead=controller, config=_config_from(params),
+                        max_cycles=params.get("max_cycles", 5_000_000))
+    return {
+        "workload": workload.name,
+        "runahead": controller.name,
+        "halted": core.halted,
+        "cycles": core.stats.cycles,
+        "ipc": core.stats.ipc,
+        "stats": _stats_dict(core.stats),
+    }
+
+
+def _run_taint(trial: Trial) -> Dict[str, Any]:
+    rows = [list(row) for row in run_fig12()]
+    mismatches = [label for label, want_btag, got_btag, want_is, got_is
+                  in rows
+                  if want_btag is not None
+                  and (got_btag != want_btag or got_is != want_is)]
+    return {"rows": rows, "mismatches": mismatches}
+
+
+_RUNNERS = {
+    "attack": _run_attack,
+    "ipc": _run_ipc,
+    "window": _run_window,
+    "run": _run_workload,
+    "taint": _run_taint,
+}
+
+
+def run_trial(trial: Trial) -> Dict[str, Any]:
+    """Execute one trial and return its result payload (pure data)."""
+    try:
+        runner = _RUNNERS[trial.kind]
+    except KeyError:
+        raise TrialError(f"no runner for trial kind {trial.kind!r}") \
+            from None
+    try:
+        return runner(trial)
+    except TrialError:
+        raise
+    except Exception as exc:
+        raise TrialError(f"trial {trial.label!r} failed: {exc}") from exc

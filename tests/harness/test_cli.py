@@ -1,0 +1,114 @@
+"""CLI smoke tests: ``python -m repro`` subcommands, in-process."""
+
+import json
+
+import pytest
+
+from repro.__main__ import _parse_assignments, main
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestParsing:
+    def test_assignments_parse_literals(self):
+        params = _parse_assignments(
+            ["variant=pht", "secret_value=42", "flag=true",
+             "config.rob_size=64"])
+        assert params == {"variant": "pht", "secret_value": 42,
+                         "flag": True, "config": {"rob_size": 64}}
+
+    def test_bad_assignment_exits(self):
+        with pytest.raises(SystemExit):
+            _parse_assignments(["oops"])
+
+
+class TestSweepCommand:
+    def test_list_presets(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7", "fig9", "sec6", "ablations", "table1"):
+            assert name in out
+
+    def test_sweep_renders_report(self, capsys, cache_dir):
+        assert main(["sweep", "fig12", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Btag" in out
+        assert "sweep fig12" in out
+
+    def test_sweep_json_is_canonical(self, capsys, cache_dir):
+        assert main(["sweep", "fig12", "--json",
+                     "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "fig12", "--json",
+                     "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["sweep"] == "fig12"
+        assert len(payload["records"]) == 1
+
+    def test_unknown_preset_errors(self, capsys, cache_dir):
+        assert main(["sweep", "fig99", "--cache-dir", cache_dir]) == 1
+        err = capsys.readouterr().err
+        assert "unknown preset" in err and "fig7" in err
+
+    def test_unknown_controller_errors(self, capsys, cache_dir):
+        assert main(["run", "attack", "variant=pht", "runahead=warp",
+                     "--no-cache"]) == 1
+        assert "unknown runahead controller" in capsys.readouterr().err
+
+    def test_missing_report_file_errors(self, capsys):
+        assert main(["report", "/nonexistent/result.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_taint_trial(self, capsys, cache_dir):
+        assert main(["run", "taint", "--cache-dir", cache_dir]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["cached"] is False
+        assert record["result"]["mismatches"] == []
+        # Second invocation is served from the cache.
+        assert main(["run", "taint", "--cache-dir", cache_dir]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["cached"] is True
+
+    def test_run_small_config_workload(self, capsys, cache_dir):
+        assert main(["run", "run", "workload=reference",
+                     "config_base=small", "--no-cache"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["result"]["halted"] is True
+
+
+class TestReportCommand:
+    def test_report_from_saved_json(self, capsys, tmp_path, cache_dir):
+        out_file = tmp_path / "fig12.json"
+        assert main(["sweep", "fig12", "--out", str(out_file),
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_file)]) == 0
+        assert "Btag" in capsys.readouterr().out
+
+    def test_report_preset_uses_cache(self, capsys, cache_dir):
+        assert main(["sweep", "fig12", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["report", "fig12", "--cache-dir", cache_dir]) == 0
+        assert "Btag" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_cache_status_and_clear(self, capsys, cache_dir):
+        main(["sweep", "fig12", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "records      : 1" in capsys.readouterr().out
+        assert main(["cache", "--clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "sweep" in capsys.readouterr().out

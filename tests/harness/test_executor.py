@@ -1,0 +1,117 @@
+"""Executor semantics: deterministic sharding, ordering, cache wiring.
+
+The sweeps here use cheap trials (the taint table and small-config
+reference runs) so the multi-worker paths are exercised without paying
+for paper-scale simulations.
+"""
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import SweepResult, run_sweep
+from repro.harness.runner import TrialError, run_trial
+from repro.harness.spec import Sweep, Trial
+
+
+def cheap_sweep(name="cheap") -> Sweep:
+    sweep = Sweep(name)
+    sweep.add("taint")
+    sweep.add("run", workload="reference", runahead="none",
+              config_base="small")
+    sweep.add("run", workload="reference", runahead="original",
+              config_base="small")
+    sweep.add("window", runahead="none", sled=64, config_base="small")
+    return sweep
+
+
+class TestDeterministicSharding:
+    @pytest.mark.slow
+    def test_worker_count_does_not_change_bytes(self):
+        serial = run_sweep(cheap_sweep(), workers=1, cache=None)
+        sharded = run_sweep(cheap_sweep(), workers=3, cache=None)
+        assert serial.to_json() == sharded.to_json()
+        assert sharded.workers == 3
+
+    def test_records_come_back_in_trial_order(self):
+        sweep = cheap_sweep()
+        result = run_sweep(sweep, workers=2, cache=None)
+        assert [r["kind"] for r in result.records] == \
+            [t.kind for t in sweep.trials]
+        assert [r["label"] for r in result.records] == \
+            [t.label for t in sweep.trials]
+
+    def test_same_sweep_same_results_across_runs(self):
+        first = run_sweep(cheap_sweep(), workers=1, cache=None)
+        second = run_sweep(cheap_sweep(), workers=1, cache=None)
+        assert first.to_json() == second.to_json()
+
+
+class TestCacheWiring:
+    def test_second_run_hits_cache(self, tmp_path):
+        store = ResultCache(root=tmp_path, code_version="v1")
+        cold = run_sweep(cheap_sweep(), workers=1, cache=store)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(cold)
+        warm = run_sweep(cheap_sweep(), workers=1, cache=store)
+        assert warm.cache_hits == len(warm)
+        assert warm.cache_misses == 0
+        assert all(warm.cached)
+        assert cold.to_json() == warm.to_json()
+
+    def test_force_recomputes_despite_cache(self, tmp_path):
+        store = ResultCache(root=tmp_path, code_version="v1")
+        run_sweep(cheap_sweep(), workers=1, cache=store)
+        forced = run_sweep(cheap_sweep(), workers=1, cache=store,
+                           force=True)
+        assert forced.cache_misses == len(forced)
+
+    def test_trial_shared_between_sweeps(self, tmp_path):
+        store = ResultCache(root=tmp_path, code_version="v1")
+        run_sweep(cheap_sweep("first"), workers=1, cache=store)
+        other = Sweep("second")
+        other.add("taint")
+        warm = run_sweep(other, workers=1, cache=store)
+        assert warm.cache_hits == 1
+
+
+class TestFailures:
+    def test_unknown_workload_raises_trial_error_inline(self):
+        sweep = Sweep("bad")
+        sweep.add("run", workload="does-not-exist")
+        with pytest.raises(TrialError, match="does-not-exist"):
+            run_sweep(sweep, workers=1, cache=None)
+
+    @pytest.mark.slow
+    def test_worker_failure_surfaces_as_trial_error(self):
+        sweep = cheap_sweep()
+        sweep.add("run", workload="does-not-exist")
+        sweep.add("taint")
+        with pytest.raises(TrialError, match="does-not-exist"):
+            run_sweep(sweep, workers=3, cache=None)
+
+    def test_run_trial_rejects_unknown_kind(self):
+        trial = Trial("attack", {"variant": "pht"})
+        trial.kind = "bogus"   # bypass validation to hit the runner guard
+        with pytest.raises(TrialError, match="no runner"):
+            run_trial(trial)
+
+
+class TestSweepResult:
+    def test_select_with_dotted_filters(self):
+        result = run_sweep(cheap_sweep(), workers=1, cache=None)
+        runs = result.select("run", config_base="small")
+        assert len(runs) == 2
+        original = result.one("run", runahead="original")
+        assert original["result"]["workload"] == "reference"
+
+    def test_one_raises_on_ambiguity(self):
+        result = run_sweep(cheap_sweep(), workers=1, cache=None)
+        with pytest.raises(LookupError):
+            result.one("run")
+
+    def test_json_round_trip(self):
+        result = run_sweep(cheap_sweep(), workers=1, cache=None)
+        clone = SweepResult.from_json(result.to_json())
+        assert clone.name == result.name
+        assert clone.records == result.records
+        assert clone.to_json() == result.to_json()

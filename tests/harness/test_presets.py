@@ -1,0 +1,85 @@
+"""Preset integrity: every paper experiment builds a valid sweep."""
+
+import json
+
+import pytest
+
+from repro.harness import presets
+from repro.harness.registry import (CONTROLLERS, get_workload, make_config,
+                                    make_controller)
+
+ALL = sorted(presets.PRESETS)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_full_tier_builds_nonempty_serializable_sweep(name):
+    sweep = presets.get(name).build()
+    assert len(sweep) > 0
+    assert sweep.name == name
+    json.dumps(sweep.to_dict())   # trials must be pure data
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_quick_tier_is_no_bigger(name):
+    preset = presets.get(name)
+    assert 0 < len(preset.build(quick=True)) <= len(preset.build())
+
+
+def test_expected_presets_exist():
+    for name in ("table1", "fig4", "fig7", "fig9", "fig10", "fig11",
+                 "fig12", "sec43", "sec6", "ablations"):
+        assert name in presets.PRESETS
+
+
+def test_preset_trials_resolve_through_registry():
+    """Every name a preset references must exist in the registry."""
+    for name in ALL:
+        for trial in presets.get(name).build():
+            runahead = trial.params.get("runahead")
+            if runahead is not None:
+                make_controller(runahead,
+                                **trial.params.get("runahead_kwargs", {}))
+            for key in ("baseline", "contender"):
+                if key in trial.params:
+                    make_controller(trial.params[key])
+            if "workload" in trial.params:
+                get_workload(trial.params["workload"])
+            make_config(trial.params.get("config_base", "paper"),
+                        trial.params.get("config"))
+
+
+class TestRegistry:
+    def test_unknown_controller(self):
+        with pytest.raises(KeyError, match="unknown runahead controller"):
+            make_controller("warp-drive")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("spec2077")
+
+    def test_controllers_are_fresh_instances(self):
+        assert make_controller("original") is not \
+            make_controller("original")
+
+    def test_none_maps_to_no_runahead(self):
+        assert make_controller(None).name == "no-runahead"
+        assert make_controller("none").name == "no-runahead"
+
+    def test_make_config_routes_mem_latency(self):
+        config = make_config("paper", {"mem_latency": 400,
+                                       "rob_size": 64})
+        assert config.hierarchy.mem_latency == 400
+        assert config.rob_size == 64
+
+    def test_make_config_routes_runahead_tunables(self):
+        config = make_config("small", {"sl_cache_entries": 8})
+        assert config.runahead.sl_cache_entries == 8
+
+    def test_make_config_rejects_unknown_base(self):
+        with pytest.raises(ValueError, match="unknown config base"):
+            make_config("huge")
+
+    def test_registry_covers_all_variant_controllers(self):
+        for name in ("original", "precise", "vector", "secure",
+                     "branch-skip"):
+            assert name in CONTROLLERS

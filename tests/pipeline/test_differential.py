@@ -17,6 +17,8 @@ from hypothesis import given, settings, strategies as st
 from repro import Core, CoreConfig, MemoryImage, assemble, run_program
 from repro.isa.registers import NUM_ARCH_REGS, REG_SP
 
+pytestmark = pytest.mark.slow
+
 # A compact register set keeps dependencies dense (more interesting
 # schedules) without losing coverage.
 _REGS = [f"r{i}" for i in range(1, 8)]

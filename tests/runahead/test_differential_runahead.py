@@ -7,10 +7,13 @@ entries, so these runs exercise checkpoint/restore, INV propagation and
 pseudo-retirement heavily.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Core, CoreConfig, MemoryImage, assemble
 from repro.runahead import OriginalRunahead
+
+pytestmark = pytest.mark.slow
 
 from ..pipeline.test_differential import (assert_same_architecture,
                                           random_program, _image)
