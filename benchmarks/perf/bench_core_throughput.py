@@ -1,0 +1,52 @@
+"""Core-throughput benchmark: simulated cycles per wall-clock second.
+
+Thin wrapper around :mod:`repro.harness.perfbench` (the measurement
+lives in the package so ``python -m repro bench-perf`` can emit
+``BENCH_core.json`` without importing the benchmark tree).  Run
+standalone for a quick local reading, or through pytest for the suite's
+report artifact::
+
+    PYTHONPATH=src python benchmarks/perf/bench_core_throughput.py
+    pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.harness import perfbench
+
+from _common import emit
+
+
+def test_core_throughput():
+    """Every scenario halts and yields a positive throughput reading."""
+    payload = perfbench.run_benchmark(repeats=1)
+    assert set(payload["scenarios"]) == {
+        label for label, _, _ in perfbench.SCENARIOS}
+    for label, record in payload["scenarios"].items():
+        assert record["simulated_cycles"] > 0, label
+        assert record["cycles_per_second"] > 0, label
+    # Runahead must simulate *fewer or equal* cycles than no-runahead on
+    # memory-bound kernels — a cheap behavioural sanity check that the
+    # throughput rig is running the machines it claims to run.
+    scenarios = payload["scenarios"]
+    for kernel in ("mcf", "gems"):
+        assert scenarios[f"runahead/{kernel}"]["simulated_cycles"] <= \
+            scenarios[f"normal/{kernel}"]["simulated_cycles"], kernel
+    emit("core_throughput", perfbench.render(payload))
+
+
+def main() -> int:
+    payload = perfbench.run_benchmark()
+    print(perfbench.render(payload))
+    print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

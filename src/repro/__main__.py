@@ -14,6 +14,11 @@ Subcommands
     the cache without recomputing anything that is already stored.
 ``repro cache [--clear]``
     Show (or empty) the on-disk result cache.
+``repro bench-perf``
+    Measure simulator throughput (simulated cycles/second) on the
+    core-throughput scenarios plus the Fig. 7 quick sweep wall time,
+    write ``BENCH_core.json``, and optionally compare against a
+    committed baseline (``--compare``) with a relative tolerance.
 
 Examples::
 
@@ -146,6 +151,43 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench_perf(args) -> int:
+    from .harness import perfbench
+
+    payload = perfbench.run_benchmark(repeats=args.repeats)
+    if not args.no_sweep:
+        payload["fig7_quick_sweep"] = perfbench.measure_fig7_quick(
+            workers=args.sweep_workers)
+    baseline = None
+    if args.compare:
+        baseline = perfbench.load_payload(args.compare)
+        # Carry the optimization history forward so BENCH_core.json keeps
+        # documenting the before/after trajectory.
+        if "history" in baseline:
+            payload["history"] = baseline["history"]
+    if args.out:
+        perfbench.dump_payload(payload, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(perfbench.render(payload))
+    if "fig7_quick_sweep" in payload:
+        sweep = payload["fig7_quick_sweep"]
+        print(f"fig7 --quick sweep: {sweep['wall_seconds']:.3f}s "
+              f"({sweep['trials']} trials, {sweep['workers']} worker(s))")
+    if baseline is None:
+        return 0
+    problems = perfbench.compare(payload, baseline,
+                                 tolerance=args.tolerance)
+    if problems:
+        print(f"perf regression vs {args.compare} "
+              f"(tolerance ±{args.tolerance:.0%}):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"within ±{args.tolerance:.0%} of {args.compare}",
+          file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +240,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="delete every cached record")
     p_cache.add_argument("--cache-dir", help="cache root directory")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench-perf", help="measure simulator throughput (BENCH_core.json)")
+    p_bench.add_argument("--out", default="BENCH_core.json",
+                         help="write the measurement JSON here "
+                              "('' disables; default BENCH_core.json)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="wall-clock repeats per scenario (best-of)")
+    p_bench.add_argument("--compare", metavar="BASELINE.json",
+                         help="compare against a baseline payload; "
+                              "non-zero exit on regression")
+    p_bench.add_argument("--tolerance", type=float, default=0.2,
+                         help="allowed relative throughput drop vs the "
+                              "baseline (default 0.2)")
+    p_bench.add_argument("--no-sweep", action="store_true",
+                         help="skip the fig7 --quick sweep wall-time probe")
+    p_bench.add_argument("--sweep-workers", type=int, default=1,
+                         help="worker processes for the sweep probe")
+    p_bench.set_defaults(func=_cmd_bench_perf)
     return parser
 
 

@@ -22,7 +22,7 @@ from .predictors import TwoLevelPredictor, make_direction_predictor
 from .rsb import ReturnStackBuffer
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
     """Fetch-time prediction for one control-flow instruction."""
 
@@ -70,7 +70,7 @@ class BranchUnit:
         fallthrough = pc + INSTR_BYTES
         op = instr.opcode
 
-        if instr.is_conditional_branch():
+        if instr.cond_branch:
             taken, meta = self.direction.predict(pc)
             self.direction.spec_update(pc, taken)
             target = instr.target if taken else fallthrough

@@ -1,0 +1,171 @@
+"""Core-throughput measurement: simulated cycles per wall-clock second.
+
+The perf trajectory for the simulator hot path.  Three machines —
+normal (no runahead), original runahead, and secure runahead — run three
+representative kernels (compute-bound ``zeusmp``, pointer-chasing
+``mcf``, streaming ``gems``); each scenario reports its simulated cycle
+count, best-of-N wall seconds, and the derived cycles/second.
+
+``python -m repro bench-perf`` emits these measurements as
+``BENCH_core.json`` at the repo root and can compare a fresh run
+against a committed baseline with a relative tolerance (the CI perf job
+does exactly that, non-blocking, at ±20 %).
+
+Wall-clock numbers are machine- and load-dependent by nature; the
+committed baseline pins the expected throughput on CI-class hardware,
+while behavioural equality is pinned separately by the golden-stats
+tests (``tests/pipeline/test_golden_stats.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .registry import get_workload, make_controller
+
+#: (bench label, workload name, controller name).
+SCENARIOS: Tuple[Tuple[str, str, str], ...] = (
+    ("normal/zeusmp", "zeusmp", "none"),
+    ("normal/mcf", "mcf", "none"),
+    ("normal/gems", "gems", "none"),
+    ("runahead/zeusmp", "zeusmp", "original"),
+    ("runahead/mcf", "mcf", "original"),
+    ("runahead/gems", "gems", "original"),
+    ("secure/zeusmp", "zeusmp", "secure"),
+    ("secure/mcf", "mcf", "secure"),
+    ("secure/gems", "gems", "secure"),
+)
+
+
+def measure_scenario(workload_name: str, controller_name: str,
+                     repeats: int = 3) -> Dict:
+    """Run one scenario ``repeats`` times; report the best throughput.
+
+    Best-of-N is the standard wall-clock protocol: it filters scheduler
+    noise while staying a single-number summary.  Simulated cycles are
+    identical across repeats (the simulator is deterministic), so only
+    the wall time varies.
+    """
+    workload = get_workload(workload_name)
+    best_wall: Optional[float] = None
+    cycles = committed = 0
+    for _ in range(repeats):
+        controller = make_controller(controller_name)
+        start = time.perf_counter()
+        core = workload.run(runahead=controller)
+        wall = time.perf_counter() - start
+        cycles = core.stats.cycles
+        committed = core.stats.committed
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "workload": workload_name,
+        "controller": controller_name,
+        "simulated_cycles": cycles,
+        "committed": committed,
+        "wall_seconds": round(best_wall, 4),
+        "cycles_per_second": round(cycles / best_wall) if best_wall else 0,
+    }
+
+
+def run_benchmark(repeats: int = 3) -> Dict:
+    """Measure every scenario; returns the ``BENCH_core`` payload."""
+    scenarios = {}
+    total_cycles = 0
+    total_wall = 0.0
+    for label, workload_name, controller_name in SCENARIOS:
+        record = measure_scenario(workload_name, controller_name,
+                                  repeats=repeats)
+        scenarios[label] = record
+        total_cycles += record["simulated_cycles"]
+        total_wall += record["wall_seconds"]
+    return {
+        "bench": "core_throughput",
+        "repeats": repeats,
+        "scenarios": scenarios,
+        "total_simulated_cycles": total_cycles,
+        "total_wall_seconds": round(total_wall, 4),
+        "cycles_per_second": round(total_cycles / total_wall)
+        if total_wall else 0,
+    }
+
+
+def measure_fig7_quick(workers: int = 1) -> Dict:
+    """Wall-time the Fig. 7 quick IPC sweep end to end (cache disabled).
+
+    This is the headline number of the hot-path optimization issue: the
+    sweep that every CI run and local iteration waits on.
+    """
+    from . import presets as preset_registry
+    from .executor import run_sweep
+
+    sweep = preset_registry.get("fig7").build(quick=True)
+    start = time.perf_counter()
+    result = run_sweep(sweep, workers=workers, cache=None)
+    wall = time.perf_counter() - start
+    return {
+        "preset": "fig7 --quick",
+        "trials": len(result.records),
+        "workers": workers,
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def render(payload: Dict) -> str:
+    """Human-readable table of one benchmark payload."""
+    lines = [f"{'scenario':18s} {'cycles':>10s} {'wall s':>8s} "
+             f"{'cycles/s':>12s}"]
+    for label, record in payload["scenarios"].items():
+        lines.append(f"{label:18s} {record['simulated_cycles']:>10d} "
+                     f"{record['wall_seconds']:>8.3f} "
+                     f"{record['cycles_per_second']:>12d}")
+    lines.append(f"{'total':18s} {payload['total_simulated_cycles']:>10d} "
+                 f"{payload['total_wall_seconds']:>8.3f} "
+                 f"{payload['cycles_per_second']:>12d}")
+    return "\n".join(lines)
+
+
+def compare(fresh: Dict, baseline: Dict, tolerance: float = 0.2) -> List[str]:
+    """Compare a fresh payload against a baseline.
+
+    Returns a list of regression messages (empty = within tolerance).
+    Simulated cycle counts must match *exactly* (they are deterministic
+    behaviour, not performance); throughput may regress by at most
+    ``tolerance`` relative to the baseline.  Faster-than-baseline is
+    never a failure.
+    """
+    problems = []
+    base_scenarios = baseline.get("scenarios", {})
+    for label, record in fresh.get("scenarios", {}).items():
+        base = base_scenarios.get(label)
+        if base is None:
+            problems.append(f"{label}: missing from baseline")
+            continue
+        if record["simulated_cycles"] != base["simulated_cycles"]:
+            problems.append(
+                f"{label}: simulated cycles changed "
+                f"{base['simulated_cycles']} -> "
+                f"{record['simulated_cycles']} (behaviour regression!)")
+        floor = base["cycles_per_second"] * (1.0 - tolerance)
+        if record["cycles_per_second"] < floor:
+            problems.append(
+                f"{label}: throughput {record['cycles_per_second']}/s "
+                f"below tolerance floor {floor:.0f}/s "
+                f"(baseline {base['cycles_per_second']}/s)")
+    for label in base_scenarios:
+        if label not in fresh.get("scenarios", {}):
+            problems.append(f"{label}: scenario disappeared")
+    return problems
+
+
+def load_payload(path: str) -> Dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dump_payload(payload: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=1)
+        handle.write("\n")

@@ -107,7 +107,8 @@ def _build_reference() -> Workload:
         return program, image, None
     return Workload(name="reference",
                     description="Table-1 reference run (64-load walk)",
-                    build=build, memory_bound=True)
+                    build=build, memory_bound=True,
+                    cache_key="reference/64")
 
 
 def workloads() -> Dict[str, Workload]:

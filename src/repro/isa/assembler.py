@@ -60,7 +60,7 @@ _SIGNATURES = {
     Opcode.RDTSC: "d", Opcode.FENCE: "", Opcode.NOP: "", Opcode.HALT: "",
 }
 
-_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+_OPCODES_BY_NAME = {op.mnemonic: op for op in Opcode}
 
 
 class AssemblyError(ValueError):

@@ -27,7 +27,7 @@ from .assembler import assemble
 from .instructions import Opcode
 from .memory_image import MemoryImage
 
-_MNEMONICS = frozenset(op.value for op in Opcode)
+_MNEMONICS = frozenset(op.mnemonic for op in Opcode)
 
 
 class ProgramBuilder:

@@ -15,94 +15,133 @@ express every gadget in the paper (Figs. 3, 8, 10 and 12):
 
 Instructions are immutable; a :class:`~repro.isa.program.Program` is a list
 of them with all branch targets resolved to instruction addresses.
+
+Everything the cycle simulator asks about an instruction every cycle is
+decided here, *once*, at decode time: :class:`Opcode` and :class:`FuKind`
+are ``IntEnum`` s with contiguous values so they index flat dispatch
+tables, and :class:`Instruction` precomputes its classification flags
+(``branch``/``load``/``store``/...), functional-unit class, rename class
+and load type into plain ``__slots__`` attributes.  The hot path reads
+attributes and indexes lists — no properties, no ``enum`` hashing, no
+set-membership tests.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional, Tuple
+
+from .registers import reg_class
 
 INSTR_BYTES = 4
 WORD_BYTES = 8
 
 
-class FuKind(enum.Enum):
-    """Functional-unit classes, matching Table 1 of the paper."""
+class FuKind(enum.IntEnum):
+    """Functional-unit classes, matching Table 1 of the paper.
 
-    INT_ALU = "int_alu"
-    INT_MUL = "int_mult"
-    INT_DIV = "int_div"
-    FP_ADD = "fp_add"
-    FP_MUL = "fp_mult"
-    FP_DIV = "fp_div"
-    MEM = "mem_port"
-    BRANCH = "branch"
-    NONE = "none"
+    Values are contiguous so unit pools can be flat lists indexed by
+    kind; ``label`` carries the Table-1 name for reports.
+    """
+
+    def __new__(cls, value, label):
+        obj = int.__new__(cls, value)
+        obj._value_ = value
+        obj.label = label
+        return obj
+
+    INT_ALU = (0, "int_alu")
+    INT_MUL = (1, "int_mult")
+    INT_DIV = (2, "int_div")
+    FP_ADD = (3, "fp_add")
+    FP_MUL = (4, "fp_mult")
+    FP_DIV = (5, "fp_div")
+    MEM = (6, "mem_port")
+    BRANCH = (7, "branch")
+    NONE = (8, "none")
 
 
-class Opcode(enum.Enum):
+NUM_FU_KINDS = len(FuKind)
+
+
+class Opcode(enum.IntEnum):
+    """Opcodes with contiguous integer values (table-dispatch friendly).
+
+    ``mnemonic`` is the assembly spelling; the integer value is an
+    implementation detail and never serialized.
+    """
+
+    def __new__(cls, value, mnemonic):
+        obj = int.__new__(cls, value)
+        obj._value_ = value
+        obj.mnemonic = mnemonic
+        return obj
+
     # Integer ALU (1 cycle).
-    LI = "li"
-    MOV = "mov"
-    ADD = "add"
-    SUB = "sub"
-    AND = "and"
-    OR = "or"
-    XOR = "xor"
-    SLL = "sll"
-    SRL = "srl"
-    SLT = "slt"
-    SLTU = "sltu"
-    ADDI = "addi"
-    ANDI = "andi"
-    ORI = "ori"
-    XORI = "xori"
-    SLLI = "slli"
-    SRLI = "srli"
-    SLTI = "slti"
+    LI = (0, "li")
+    MOV = (1, "mov")
+    ADD = (2, "add")
+    SUB = (3, "sub")
+    AND = (4, "and")
+    OR = (5, "or")
+    XOR = (6, "xor")
+    SLL = (7, "sll")
+    SRL = (8, "srl")
+    SLT = (9, "slt")
+    SLTU = (10, "sltu")
+    ADDI = (11, "addi")
+    ANDI = (12, "andi")
+    ORI = (13, "ori")
+    XORI = (14, "xori")
+    SLLI = (15, "slli")
+    SRLI = (16, "srli")
+    SLTI = (17, "slti")
     # Integer multiply (2 cycles) / divide (5 cycles).
-    MUL = "mul"
-    MULI = "muli"
-    DIV = "div"
-    REM = "rem"
+    MUL = (18, "mul")
+    MULI = (19, "muli")
+    DIV = (20, "div")
+    REM = (21, "rem")
     # Floating point: add-class (5), mul (10), div (15).
-    FADD = "fadd"
-    FSUB = "fsub"
-    FCVT = "fcvt"
-    FMOV = "fmov"
-    FMUL = "fmul"
-    FDIV = "fdiv"
+    FADD = (22, "fadd")
+    FSUB = (23, "fsub")
+    FCVT = (24, "fcvt")
+    FMOV = (25, "fmov")
+    FMUL = (26, "fmul")
+    FDIV = (27, "fdiv")
     # Vector (two 64-bit lanes; mapped onto the fp units).
-    VADD = "vadd"
-    VMUL = "vmul"
-    VSPLAT = "vsplat"
-    VEXTRACT = "vextract"
+    VADD = (28, "vadd")
+    VMUL = (29, "vmul")
+    VSPLAT = (30, "vsplat")
+    VEXTRACT = (31, "vextract")
     # Memory.
-    LOAD = "load"
-    STORE = "store"
-    FLOAD = "fload"
-    FSTORE = "fstore"
-    VLOAD = "vload"
-    VSTORE = "vstore"
-    CLFLUSH = "clflush"
+    LOAD = (32, "load")
+    STORE = (33, "store")
+    FLOAD = (34, "fload")
+    FSTORE = (35, "fstore")
+    VLOAD = (36, "vload")
+    VSTORE = (37, "vstore")
+    CLFLUSH = (38, "clflush")
     # Control flow.
-    BEQ = "beq"
-    BNE = "bne"
-    BLT = "blt"
-    BGE = "bge"
-    BLTU = "bltu"
-    BGEU = "bgeu"
-    JMP = "jmp"
-    JR = "jr"
-    CALL = "call"
-    RET = "ret"
+    BEQ = (39, "beq")
+    BNE = (40, "bne")
+    BLT = (41, "blt")
+    BGE = (42, "bge")
+    BLTU = (43, "bltu")
+    BGEU = (44, "bgeu")
+    JMP = (45, "jmp")
+    JR = (46, "jr")
+    CALL = (47, "call")
+    RET = (48, "ret")
     # Misc.
-    RDTSC = "rdtsc"
-    FENCE = "fence"
-    NOP = "nop"
-    HALT = "halt"
+    RDTSC = (49, "rdtsc")
+    FENCE = (50, "fence")
+    NOP = (51, "nop")
+    HALT = (52, "halt")
 
+
+NUM_OPCODES = len(Opcode)
+
+#: Mnemonic → opcode (assembler front end).
+OPCODES_BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
 
 #: Opcodes computed on the integer ALU.
 INT_ALU_OPS = frozenset({
@@ -148,45 +187,93 @@ for _op in BRANCH_OPS:
 for _op in (Opcode.RDTSC, Opcode.FENCE, Opcode.NOP, Opcode.HALT):
     _FU_BY_OPCODE[_op] = FuKind.NONE
 
+#: Flat decode tables indexed by integer opcode.
+FU_OF = [_FU_BY_OPCODE[op] for op in Opcode]
+IS_BRANCH = [op in BRANCH_OPS for op in Opcode]
+IS_COND_BRANCH = [op in CONDITIONAL_BRANCHES for op in Opcode]
+IS_MEM = [op in MEM_OPS for op in Opcode]
+IS_LOAD = [op in LOAD_OPS for op in Opcode]
+IS_STORE = [op in STORE_OPS for op in Opcode]
+#: What the pipeline treats as a load/store: ``ret`` pops and ``call``
+#: pushes the return address through the in-memory stack.
+IS_PIPE_LOAD = [op in LOAD_OPS or op is Opcode.RET for op in Opcode]
+IS_PIPE_STORE = [op in STORE_OPS or op is Opcode.CALL for op in Opcode]
+#: Dispatch-immediate opcodes (complete at dispatch, no backend use).
+IS_IMMEDIATE = [op in (Opcode.NOP, Opcode.HALT, Opcode.FENCE)
+                for op in Opcode]
+#: Value type a load produces ("int" / "float" / "vec"), else None.
+LOAD_TYPE = [None] * NUM_OPCODES
+LOAD_TYPE[Opcode.LOAD] = "int"
+LOAD_TYPE[Opcode.FLOAD] = "float"
+LOAD_TYPE[Opcode.VLOAD] = "vec"
+
 
 def fu_kind(opcode):
     """Return the functional-unit class an opcode executes on."""
-    return _FU_BY_OPCODE[opcode]
+    return FU_OF[opcode]
 
 
-@dataclass(frozen=True)
 class Instruction:
     """One decoded instruction.
 
     ``dest`` and ``srcs`` are flat register indices (see
     :mod:`repro.isa.registers`); ``imm`` is an integer or float immediate;
     ``target`` is a resolved instruction address for direct control flow.
+
+    Construction precomputes everything the per-cycle pipeline loops ask
+    about — classification flags, functional-unit class, rename class of
+    the destination — into plain read-only-by-convention attributes, so
+    dispatch/issue/commit never pay for a property call or a frozenset
+    membership test.  The predicate *methods* (``is_branch()`` & co.)
+    are kept as the stable API for code off the hot path.
     """
 
-    opcode: Opcode
-    dest: Optional[int] = None
-    srcs: Tuple[int, ...] = ()
-    imm: object = None
-    target: Optional[int] = None
+    __slots__ = ("opcode", "dest", "srcs", "imm", "target",
+                 "op", "fu", "branch", "cond_branch", "mem", "load",
+                 "store", "pipe_load", "pipe_store", "immediate",
+                 "rename_class", "load_type", "n_srcs")
+
+    def __init__(self, opcode, dest=None, srcs=(), imm=None, target=None):
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.target = target
+        # -- decode-time static metadata (the per-cycle fast path) --
+        op = int(opcode)
+        self.op = op
+        self.fu = FU_OF[op]
+        self.branch = IS_BRANCH[op]
+        self.cond_branch = IS_COND_BRANCH[op]
+        self.mem = IS_MEM[op]
+        self.load = IS_LOAD[op]
+        self.store = IS_STORE[op]
+        self.pipe_load = IS_PIPE_LOAD[op]
+        self.pipe_store = IS_PIPE_STORE[op]
+        self.immediate = IS_IMMEDIATE[op]
+        self.load_type = LOAD_TYPE[op]
+        self.n_srcs = len(self.srcs)
+        if dest is None or dest == 0:        # REG_ZERO writes rename nothing
+            self.rename_class = None
+        else:
+            self.rename_class = reg_class(dest)
+
+    # -- stable predicate API (off the hot path) ------------------------------
 
     def is_branch(self):
-        return self.opcode in BRANCH_OPS
+        return self.branch
 
     def is_conditional_branch(self):
-        return self.opcode in CONDITIONAL_BRANCHES
+        return self.cond_branch
 
     def is_mem(self):
-        return self.opcode in MEM_OPS
+        return self.mem
 
     def is_load(self):
-        return self.opcode in LOAD_OPS
+        return self.load
 
     def is_store(self):
-        return self.opcode in STORE_OPS
-
-    @property
-    def fu(self):
-        return fu_kind(self.opcode)
+        return self.store
 
     def reads(self):
         """Registers read by this instruction (in operand order)."""
@@ -196,10 +283,23 @@ class Instruction:
         """Register written by this instruction, or None."""
         return self.dest
 
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (self.opcode is other.opcode and self.dest == other.dest and
+                self.srcs == other.srcs and self.imm == other.imm and
+                self.target == other.target)
+
+    def __hash__(self):
+        return hash((self.op, self.dest, self.srcs, self.imm, self.target))
+
+    def __repr__(self):
+        return f"Instruction({self})"
+
     def __str__(self):
         from .registers import reg_name
 
-        parts = [self.opcode.value]
+        parts = [self.opcode.mnemonic]
         operands = []
         if self.dest is not None:
             operands.append(reg_name(self.dest))
@@ -229,82 +329,80 @@ def to_signed64(value):
     return value
 
 
+def _div64(a, b):
+    if b == 0:
+        return _MASK64
+    sa, sb = to_signed64(a), to_signed64(b)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return quotient & _MASK64
+
+
+def _rem64(a, b):
+    if b == 0:
+        return a
+    sa, sb = to_signed64(a), to_signed64(b)
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & _MASK64
+
+
+#: Integer ALU/MUL/DIV dispatch table: ``fn(a, b, imm) -> u64``.
+#: Indexed by integer opcode; None marks non-ALU opcodes.
+ALU_EVAL = [None] * NUM_OPCODES
+ALU_EVAL[Opcode.LI] = lambda a, b, imm: imm & _MASK64
+ALU_EVAL[Opcode.MOV] = lambda a, b, imm: a
+ALU_EVAL[Opcode.ADD] = lambda a, b, imm: (a + b) & _MASK64
+ALU_EVAL[Opcode.ADDI] = lambda a, b, imm: (a + imm) & _MASK64
+ALU_EVAL[Opcode.SUB] = lambda a, b, imm: (a - b) & _MASK64
+ALU_EVAL[Opcode.AND] = lambda a, b, imm: a & b
+ALU_EVAL[Opcode.ANDI] = lambda a, b, imm: a & (imm & _MASK64)
+ALU_EVAL[Opcode.OR] = lambda a, b, imm: a | b
+ALU_EVAL[Opcode.ORI] = lambda a, b, imm: a | (imm & _MASK64)
+ALU_EVAL[Opcode.XOR] = lambda a, b, imm: a ^ b
+ALU_EVAL[Opcode.XORI] = lambda a, b, imm: a ^ (imm & _MASK64)
+ALU_EVAL[Opcode.SLL] = lambda a, b, imm: (a << (b & 63)) & _MASK64
+ALU_EVAL[Opcode.SLLI] = lambda a, b, imm: (a << (imm & 63)) & _MASK64
+ALU_EVAL[Opcode.SRL] = lambda a, b, imm: a >> (b & 63)
+ALU_EVAL[Opcode.SRLI] = lambda a, b, imm: a >> (imm & 63)
+ALU_EVAL[Opcode.SLT] = \
+    lambda a, b, imm: 1 if to_signed64(a) < to_signed64(b) else 0
+ALU_EVAL[Opcode.SLTI] = lambda a, b, imm: 1 if to_signed64(a) < imm else 0
+ALU_EVAL[Opcode.SLTU] = lambda a, b, imm: 1 if a < b else 0
+ALU_EVAL[Opcode.MUL] = \
+    lambda a, b, imm: (to_signed64(a) * to_signed64(b)) & _MASK64
+ALU_EVAL[Opcode.MULI] = lambda a, b, imm: (to_signed64(a) * imm) & _MASK64
+ALU_EVAL[Opcode.DIV] = lambda a, b, imm: _div64(a, b)
+ALU_EVAL[Opcode.REM] = lambda a, b, imm: _rem64(a, b)
+
+
 def eval_int_alu(opcode, a, b, imm):
     """Evaluate an integer ALU/MUL/DIV opcode.
 
     ``a`` and ``b`` are unsigned 64-bit source values (``b`` may be None for
     immediate forms).  Returns the unsigned 64-bit result.
     """
-    if opcode is Opcode.LI:
-        return to_unsigned64(imm)
-    if opcode is Opcode.MOV:
-        return a
-    if opcode is Opcode.ADD:
-        return to_unsigned64(a + b)
-    if opcode is Opcode.ADDI:
-        return to_unsigned64(a + imm)
-    if opcode is Opcode.SUB:
-        return to_unsigned64(a - b)
-    if opcode is Opcode.AND:
-        return a & b
-    if opcode is Opcode.ANDI:
-        return a & to_unsigned64(imm)
-    if opcode is Opcode.OR:
-        return a | b
-    if opcode is Opcode.ORI:
-        return a | to_unsigned64(imm)
-    if opcode is Opcode.XOR:
-        return a ^ b
-    if opcode is Opcode.XORI:
-        return a ^ to_unsigned64(imm)
-    if opcode is Opcode.SLL:
-        return to_unsigned64(a << (b & 63))
-    if opcode is Opcode.SLLI:
-        return to_unsigned64(a << (imm & 63))
-    if opcode is Opcode.SRL:
-        return a >> (b & 63)
-    if opcode is Opcode.SRLI:
-        return a >> (imm & 63)
-    if opcode is Opcode.SLT:
-        return 1 if to_signed64(a) < to_signed64(b) else 0
-    if opcode is Opcode.SLTI:
-        return 1 if to_signed64(a) < imm else 0
-    if opcode is Opcode.SLTU:
-        return 1 if a < b else 0
-    if opcode is Opcode.MUL:
-        return to_unsigned64(to_signed64(a) * to_signed64(b))
-    if opcode is Opcode.MULI:
-        return to_unsigned64(to_signed64(a) * imm)
-    if opcode is Opcode.DIV:
-        if b == 0:
-            return _MASK64
-        quotient = abs(to_signed64(a)) // abs(to_signed64(b))
-        if (to_signed64(a) < 0) != (to_signed64(b) < 0):
-            quotient = -quotient
-        return to_unsigned64(quotient)
-    if opcode is Opcode.REM:
-        if b == 0:
-            return a
-        sa, sb = to_signed64(a), to_signed64(b)
-        remainder = abs(sa) % abs(sb)
-        if sa < 0:
-            remainder = -remainder
-        return to_unsigned64(remainder)
-    raise ValueError(f"not an integer ALU opcode: {opcode}")
+    fn = ALU_EVAL[opcode]
+    if fn is None:
+        raise ValueError(f"not an integer ALU opcode: {opcode!r}")
+    return fn(a, b, imm)
+
+
+#: Conditional-branch dispatch table: ``fn(a, b) -> bool``.
+BRANCH_EVAL = [None] * NUM_OPCODES
+BRANCH_EVAL[Opcode.BEQ] = lambda a, b: a == b
+BRANCH_EVAL[Opcode.BNE] = lambda a, b: a != b
+BRANCH_EVAL[Opcode.BLT] = lambda a, b: to_signed64(a) < to_signed64(b)
+BRANCH_EVAL[Opcode.BGE] = lambda a, b: to_signed64(a) >= to_signed64(b)
+BRANCH_EVAL[Opcode.BLTU] = lambda a, b: a < b
+BRANCH_EVAL[Opcode.BGEU] = lambda a, b: a >= b
 
 
 def eval_branch(opcode, a, b):
     """Evaluate a conditional branch predicate on unsigned 64-bit values."""
-    if opcode is Opcode.BEQ:
-        return a == b
-    if opcode is Opcode.BNE:
-        return a != b
-    if opcode is Opcode.BLT:
-        return to_signed64(a) < to_signed64(b)
-    if opcode is Opcode.BGE:
-        return to_signed64(a) >= to_signed64(b)
-    if opcode is Opcode.BLTU:
-        return a < b
-    if opcode is Opcode.BGEU:
-        return a >= b
-    raise ValueError(f"not a conditional branch: {opcode}")
+    fn = BRANCH_EVAL[opcode]
+    if fn is None:
+        raise ValueError(f"not a conditional branch: {opcode!r}")
+    return fn(a, b)

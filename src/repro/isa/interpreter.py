@@ -9,6 +9,10 @@ interpreter — the property-based differential tests in
 Timing-dependent results are implementation-defined: ``rdtsc`` here
 returns the executed-instruction count, so differential tests exclude it.
 ``clflush`` and ``fence`` are architectural no-ops.
+
+Execution dispatches through a flat handler table indexed by the integer
+opcode (one list index per step instead of a ~25-arm ``elif`` chain),
+which matters because differential tests interpret millions of steps.
 """
 
 from __future__ import annotations
@@ -16,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .instructions import (INSTR_BYTES, WORD_BYTES, Instruction, Opcode,
-                           eval_branch, eval_int_alu, to_signed64,
-                           to_unsigned64)
+from .instructions import (ALU_EVAL, INSTR_BYTES, NUM_OPCODES, WORD_BYTES,
+                           Instruction, Opcode, eval_branch, eval_int_alu,
+                           to_signed64, to_unsigned64)
 from .program import Program
 from .registers import (FP_CLASS, INT_CLASS, NUM_ARCH_REGS, REG_SP, REG_ZERO,
                         VEC_CLASS, make_register_file, reg_class)
@@ -56,8 +60,8 @@ def _write_word(memory, addr, value):
 
 
 def _as_int(value):
-    if isinstance(value, float):
-        return to_unsigned64(int(value))
+    if type(value) is int:
+        return to_unsigned64(value)
     return to_unsigned64(int(value))
 
 
@@ -108,97 +112,11 @@ class Interpreter:
             self.halted = True
             return False
         self.steps += 1
-        next_pc = self.pc + INSTR_BYTES
-        op = instr.opcode
-
-        if op in (Opcode.NOP, Opcode.FENCE, Opcode.CLFLUSH):
-            pass
-        elif op is Opcode.HALT:
+        if instr.op == _OP_HALT:
             self.halted = True
-            self.pc = next_pc
+            self.pc += INSTR_BYTES
             return False
-        elif op is Opcode.RDTSC:
-            self.write_reg(instr.dest, self.steps)
-        elif op is Opcode.LOAD:
-            addr = to_unsigned64(self.read_reg(instr.srcs[0]) + instr.imm)
-            self.write_reg(instr.dest, _as_int(_read_word(self.memory, addr)))
-        elif op is Opcode.FLOAD:
-            addr = to_unsigned64(self.read_reg(instr.srcs[0]) + instr.imm)
-            self.write_reg(instr.dest, _as_float(_read_word(self.memory, addr)))
-        elif op is Opcode.VLOAD:
-            addr = to_unsigned64(self.read_reg(instr.srcs[0]) + instr.imm)
-            lane0 = _as_int(_read_word(self.memory, addr))
-            lane1 = _as_int(_read_word(self.memory, addr + WORD_BYTES))
-            self.write_reg(instr.dest, (lane0, lane1))
-        elif op is Opcode.STORE:
-            value = self.read_reg(instr.srcs[0])
-            addr = to_unsigned64(self.read_reg(instr.srcs[1]) + instr.imm)
-            _write_word(self.memory, addr, _as_int(value))
-        elif op is Opcode.FSTORE:
-            value = self.read_reg(instr.srcs[0])
-            addr = to_unsigned64(self.read_reg(instr.srcs[1]) + instr.imm)
-            _write_word(self.memory, addr, _as_float(value))
-        elif op is Opcode.VSTORE:
-            lanes = self.read_reg(instr.srcs[0])
-            addr = to_unsigned64(self.read_reg(instr.srcs[1]) + instr.imm)
-            _write_word(self.memory, addr, _as_int(lanes[0]))
-            _write_word(self.memory, addr + WORD_BYTES, _as_int(lanes[1]))
-        elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
-            a = _as_float(self.read_reg(instr.srcs[0]))
-            b = _as_float(self.read_reg(instr.srcs[1]))
-            if op is Opcode.FADD:
-                result = a + b
-            elif op is Opcode.FSUB:
-                result = a - b
-            elif op is Opcode.FMUL:
-                result = a * b
-            else:
-                result = a / b if b else float("inf")
-            self.write_reg(instr.dest, result)
-        elif op is Opcode.FCVT:
-            self.write_reg(instr.dest,
-                           float(to_signed64(self.read_reg(instr.srcs[0]))))
-        elif op is Opcode.FMOV:
-            self.write_reg(instr.dest, _as_float(self.read_reg(instr.srcs[0])))
-        elif op in (Opcode.VADD, Opcode.VMUL):
-            a = self.read_reg(instr.srcs[0])
-            b = self.read_reg(instr.srcs[1])
-            if op is Opcode.VADD:
-                result = (to_unsigned64(a[0] + b[0]), to_unsigned64(a[1] + b[1]))
-            else:
-                result = (to_unsigned64(a[0] * b[0]), to_unsigned64(a[1] * b[1]))
-            self.write_reg(instr.dest, result)
-        elif op is Opcode.VSPLAT:
-            value = _as_int(self.read_reg(instr.srcs[0]))
-            self.write_reg(instr.dest, (value, value))
-        elif op is Opcode.VEXTRACT:
-            lanes = self.read_reg(instr.srcs[0])
-            self.write_reg(instr.dest, _as_int(lanes[instr.imm & 1]))
-        elif instr.is_conditional_branch():
-            a = _as_int(self.read_reg(instr.srcs[0]))
-            b = _as_int(self.read_reg(instr.srcs[1]))
-            if eval_branch(op, a, b):
-                next_pc = instr.target
-        elif op is Opcode.JMP:
-            next_pc = instr.target
-        elif op is Opcode.JR:
-            next_pc = _as_int(self.read_reg(instr.srcs[0]))
-        elif op is Opcode.CALL:
-            sp = to_unsigned64(_as_int(self.read_reg(REG_SP)) - WORD_BYTES)
-            _write_word(self.memory, sp, self.pc + INSTR_BYTES)
-            self.write_reg(REG_SP, sp)
-            next_pc = instr.target
-        elif op is Opcode.RET:
-            sp = _as_int(self.read_reg(REG_SP))
-            next_pc = _as_int(_read_word(self.memory, sp))
-            self.write_reg(REG_SP, to_unsigned64(sp + WORD_BYTES))
-        else:
-            # Integer ALU / MUL / DIV family.
-            a = _as_int(self.read_reg(instr.srcs[0])) if instr.srcs else 0
-            b = _as_int(self.read_reg(instr.srcs[1])) if len(instr.srcs) > 1 else None
-            self.write_reg(instr.dest, eval_int_alu(op, a, b, instr.imm))
-
-        self.pc = next_pc
+        self.pc = _HANDLERS[instr.op](self, instr)
         return True
 
     def run(self, max_steps=1_000_000):
@@ -216,6 +134,200 @@ class Interpreter:
             halted=self.halted,
             pc=self.pc,
         )
+
+
+# -- opcode handlers (each returns the next pc) --------------------------------
+
+_OP_HALT = int(Opcode.HALT)
+
+
+def _op_nop(interp, instr):
+    return interp.pc + INSTR_BYTES
+
+
+def _op_rdtsc(interp, instr):
+    interp.write_reg(instr.dest, interp.steps)
+    return interp.pc + INSTR_BYTES
+
+
+def _op_load(interp, instr):
+    addr = to_unsigned64(interp.read_reg(instr.srcs[0]) + instr.imm)
+    interp.write_reg(instr.dest, _as_int(_read_word(interp.memory, addr)))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fload(interp, instr):
+    addr = to_unsigned64(interp.read_reg(instr.srcs[0]) + instr.imm)
+    interp.write_reg(instr.dest, _as_float(_read_word(interp.memory, addr)))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_vload(interp, instr):
+    addr = to_unsigned64(interp.read_reg(instr.srcs[0]) + instr.imm)
+    lane0 = _as_int(_read_word(interp.memory, addr))
+    lane1 = _as_int(_read_word(interp.memory, addr + WORD_BYTES))
+    interp.write_reg(instr.dest, (lane0, lane1))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_store(interp, instr):
+    value = interp.read_reg(instr.srcs[0])
+    addr = to_unsigned64(interp.read_reg(instr.srcs[1]) + instr.imm)
+    _write_word(interp.memory, addr, _as_int(value))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fstore(interp, instr):
+    value = interp.read_reg(instr.srcs[0])
+    addr = to_unsigned64(interp.read_reg(instr.srcs[1]) + instr.imm)
+    _write_word(interp.memory, addr, _as_float(value))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_vstore(interp, instr):
+    lanes = interp.read_reg(instr.srcs[0])
+    addr = to_unsigned64(interp.read_reg(instr.srcs[1]) + instr.imm)
+    _write_word(interp.memory, addr, _as_int(lanes[0]))
+    _write_word(interp.memory, addr + WORD_BYTES, _as_int(lanes[1]))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fadd(interp, instr):
+    a = _as_float(interp.read_reg(instr.srcs[0]))
+    b = _as_float(interp.read_reg(instr.srcs[1]))
+    interp.write_reg(instr.dest, a + b)
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fsub(interp, instr):
+    a = _as_float(interp.read_reg(instr.srcs[0]))
+    b = _as_float(interp.read_reg(instr.srcs[1]))
+    interp.write_reg(instr.dest, a - b)
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fmul(interp, instr):
+    a = _as_float(interp.read_reg(instr.srcs[0]))
+    b = _as_float(interp.read_reg(instr.srcs[1]))
+    interp.write_reg(instr.dest, a * b)
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fdiv(interp, instr):
+    a = _as_float(interp.read_reg(instr.srcs[0]))
+    b = _as_float(interp.read_reg(instr.srcs[1]))
+    interp.write_reg(instr.dest, a / b if b else float("inf"))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fcvt(interp, instr):
+    interp.write_reg(instr.dest,
+                     float(to_signed64(interp.read_reg(instr.srcs[0]))))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_fmov(interp, instr):
+    interp.write_reg(instr.dest, _as_float(interp.read_reg(instr.srcs[0])))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_vadd(interp, instr):
+    a = interp.read_reg(instr.srcs[0])
+    b = interp.read_reg(instr.srcs[1])
+    interp.write_reg(instr.dest, (to_unsigned64(a[0] + b[0]),
+                                  to_unsigned64(a[1] + b[1])))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_vmul(interp, instr):
+    a = interp.read_reg(instr.srcs[0])
+    b = interp.read_reg(instr.srcs[1])
+    interp.write_reg(instr.dest, (to_unsigned64(a[0] * b[0]),
+                                  to_unsigned64(a[1] * b[1])))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_vsplat(interp, instr):
+    value = _as_int(interp.read_reg(instr.srcs[0]))
+    interp.write_reg(instr.dest, (value, value))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_vextract(interp, instr):
+    lanes = interp.read_reg(instr.srcs[0])
+    interp.write_reg(instr.dest, _as_int(lanes[instr.imm & 1]))
+    return interp.pc + INSTR_BYTES
+
+
+def _op_cond_branch(interp, instr):
+    a = _as_int(interp.read_reg(instr.srcs[0]))
+    b = _as_int(interp.read_reg(instr.srcs[1]))
+    if eval_branch(instr.opcode, a, b):
+        return instr.target
+    return interp.pc + INSTR_BYTES
+
+
+def _op_jmp(interp, instr):
+    return instr.target
+
+
+def _op_jr(interp, instr):
+    return _as_int(interp.read_reg(instr.srcs[0]))
+
+
+def _op_call(interp, instr):
+    sp = to_unsigned64(_as_int(interp.read_reg(REG_SP)) - WORD_BYTES)
+    _write_word(interp.memory, sp, interp.pc + INSTR_BYTES)
+    interp.write_reg(REG_SP, sp)
+    return instr.target
+
+
+def _op_ret(interp, instr):
+    sp = _as_int(interp.read_reg(REG_SP))
+    next_pc = _as_int(_read_word(interp.memory, sp))
+    interp.write_reg(REG_SP, to_unsigned64(sp + WORD_BYTES))
+    return next_pc
+
+
+def _op_int_alu(interp, instr):
+    srcs = instr.srcs
+    a = _as_int(interp.read_reg(srcs[0])) if srcs else 0
+    b = _as_int(interp.read_reg(srcs[1])) if len(srcs) > 1 else None
+    interp.write_reg(instr.dest, ALU_EVAL[instr.op](a, b, instr.imm))
+    return interp.pc + INSTR_BYTES
+
+
+_HANDLERS = [None] * NUM_OPCODES
+for _op in Opcode:
+    if ALU_EVAL[_op] is not None:
+        _HANDLERS[_op] = _op_int_alu
+_HANDLERS[Opcode.NOP] = _op_nop
+_HANDLERS[Opcode.FENCE] = _op_nop
+_HANDLERS[Opcode.CLFLUSH] = _op_nop
+_HANDLERS[Opcode.RDTSC] = _op_rdtsc
+_HANDLERS[Opcode.LOAD] = _op_load
+_HANDLERS[Opcode.FLOAD] = _op_fload
+_HANDLERS[Opcode.VLOAD] = _op_vload
+_HANDLERS[Opcode.STORE] = _op_store
+_HANDLERS[Opcode.FSTORE] = _op_fstore
+_HANDLERS[Opcode.VSTORE] = _op_vstore
+_HANDLERS[Opcode.FADD] = _op_fadd
+_HANDLERS[Opcode.FSUB] = _op_fsub
+_HANDLERS[Opcode.FMUL] = _op_fmul
+_HANDLERS[Opcode.FDIV] = _op_fdiv
+_HANDLERS[Opcode.FCVT] = _op_fcvt
+_HANDLERS[Opcode.FMOV] = _op_fmov
+_HANDLERS[Opcode.VADD] = _op_vadd
+_HANDLERS[Opcode.VMUL] = _op_vmul
+_HANDLERS[Opcode.VSPLAT] = _op_vsplat
+_HANDLERS[Opcode.VEXTRACT] = _op_vextract
+for _op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU,
+            Opcode.BGEU):
+    _HANDLERS[_op] = _op_cond_branch
+_HANDLERS[Opcode.JMP] = _op_jmp
+_HANDLERS[Opcode.JR] = _op_jr
+_HANDLERS[Opcode.CALL] = _op_call
+_HANDLERS[Opcode.RET] = _op_ret
 
 
 def run_program(program, memory_image=None, initial_sp=None,

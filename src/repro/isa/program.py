@@ -14,6 +14,9 @@ from typing import Dict, List, Optional
 
 from .instructions import INSTR_BYTES, Instruction
 
+#: pc → instruction-index shift (INSTR_BYTES is a power of two).
+_PC_SHIFT = INSTR_BYTES.bit_length() - 1
+
 
 class Program:
     """An assembled program.
@@ -34,6 +37,9 @@ class Program:
         self.instructions: List[Instruction] = list(instructions)
         self.labels: Dict[str, int] = dict(labels or {})
         self.symbols: Dict[str, int] = dict(symbols or {})
+        # Fetch is on the simulator's per-cycle hot path: cache the
+        # bounds once instead of recomputing len() per call.
+        self._count = len(self.instructions)
 
     def __len__(self):
         return len(self.instructions)
@@ -48,10 +54,10 @@ class Program:
 
     def fetch(self, pc) -> Optional[Instruction]:
         """Return the instruction at ``pc``, or None past the end."""
-        if pc % INSTR_BYTES:
+        if pc & (INSTR_BYTES - 1):
             raise ValueError(f"misaligned pc: {pc:#x}")
-        index = pc // INSTR_BYTES
-        if 0 <= index < len(self.instructions):
+        index = pc >> _PC_SHIFT
+        if 0 <= index < self._count:
             return self.instructions[index]
         return None
 

@@ -30,6 +30,10 @@ LEVEL_L3 = "l3"
 LEVEL_MEM = "mem"
 LEVEL_PENDING = "pending"
 
+#: "No pending fill" sentinel for the next-fill fast path (any real
+#: completion cycle compares smaller).
+_NO_FILL = float("inf")
+
 
 @dataclass(frozen=True)
 class HierarchyConfig:
@@ -71,7 +75,7 @@ class HierarchyConfig:
         return self.l1d.line_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one hierarchy access."""
 
@@ -87,7 +91,7 @@ class AccessResult:
         return self.level in (LEVEL_MEM, LEVEL_PENDING)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingFill:
     completion: int
     fill_data: bool       # install into the data-side caches on completion
@@ -118,6 +122,10 @@ class MemoryHierarchy:
         self.channel = MemoryChannel(self.config.mem_latency,
                                      self.config.mem_occupancy)
         self._pending: Dict[int, _PendingFill] = {}
+        #: Earliest completion among pending fills (kept exact; public
+        #: so the core can gate its per-cycle ``apply_completed`` call on
+        #: one integer compare).
+        self.next_fill = _NO_FILL
         self.stats = HierarchyStats()
 
     # -- helpers -----------------------------------------------------------------
@@ -127,11 +135,13 @@ class MemoryHierarchy:
 
     def apply_completed(self, now):
         """Install every pending fill whose completion has passed."""
-        if not self._pending:
+        if now < self.next_fill:
             return
-        done = [line for line, p in self._pending.items() if p.completion <= now]
+        pending_map = self._pending
+        done = [line for line, p in pending_map.items()
+                if p.completion <= now]
         for line in done:
-            pending = self._pending.pop(line)
+            pending = pending_map.pop(line)
             if pending.dropped:
                 continue
             if pending.fill_data:
@@ -142,12 +152,15 @@ class MemoryHierarchy:
                 self.l3.fill(line)
                 self.l2.fill(line)
                 self.l1i.fill(line)
+        self.next_fill = min(
+            (p.completion for p in pending_map.values()),
+            default=_NO_FILL)
 
     def next_event(self):
         """Earliest pending-fill completion, or None (for cycle skipping)."""
         if not self._pending:
             return None
-        return min(p.completion for p in self._pending.values())
+        return self.next_fill
 
     # -- data path ----------------------------------------------------------------
 
@@ -196,6 +209,8 @@ class MemoryHierarchy:
         self.stats.mem_requests += 1
         self._pending[line] = _PendingFill(completion, fill_data=fill,
                                            fill_inst=False)
+        if completion < self.next_fill:
+            self.next_fill = completion
         return AccessResult(completion - now, LEVEL_MEM, completion, line)
 
     # -- instruction path -----------------------------------------------------------
@@ -233,6 +248,8 @@ class MemoryHierarchy:
         self.stats.mem_requests += 1
         self._pending[line] = _PendingFill(completion, fill_data=False,
                                            fill_inst=True)
+        if completion < self.next_fill:
+            self.next_fill = completion
         return AccessResult(completion - now, LEVEL_MEM, completion, line)
 
     # -- maintenance -----------------------------------------------------------------
@@ -268,6 +285,24 @@ class MemoryHierarchy:
             self.warm(line, level=level)
             line += self.config.line_bytes
 
+    def warm_code_range(self, start, size_bytes):
+        """Warm a code region into *both* L1 caches (plus L2/L3).
+
+        Instruction fetch hits L1I while flush+reload probes read the
+        same addresses through the data side, so a hot code region must
+        be resident on both paths.  One pass per line replaces the old
+        warm-data-range-then-refill-L1I double walk in ``Core.__init__``.
+        """
+        line = self.line_of(start)
+        end = start + size_bytes
+        line_bytes = self.config.line_bytes
+        while line < end:
+            self.l3.fill(line)
+            self.l2.fill(line)
+            self.l1d.fill(line)
+            self.l1i.fill(line)
+            line += line_bytes
+
     def present_in(self, addr, level):
         """Presence probe for tests/analysis (no side effects)."""
         line = self.line_of(addr)
@@ -279,4 +314,5 @@ class MemoryHierarchy:
             cache.reset()
         self.channel.reset()
         self._pending.clear()
+        self.next_fill = _NO_FILL
         self.stats = HierarchyStats()

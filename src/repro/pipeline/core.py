@@ -18,24 +18,34 @@ things, all implemented here with policy delegated to the attached
 
 On exit the checkpoint is restored and fetch resumes at the stalling
 load.  The only surviving side effects are cache fills.
+
+Scheduling is *wakeup-driven* (docs/PERFORMANCE.md): every dispatched
+instruction knows how many of its source producers are still in flight
+(``pending_srcs``), producers carry wakeup lists of their consumers, and
+``_ready`` is a seq-ordered heap of instructions whose operands are all
+available.  The issue stage pops from that heap instead of scanning the
+issue queue, so a cycle's issue work is proportional to what can
+actually issue — the behaviour (issue order, FU arbitration, stats) is
+bit-identical to the scan it replaced, which the golden-stats tests
+(``tests/pipeline/test_golden_stats.py``) pin down.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional
 
 from ..branch.btb import BranchTargetBuffer
 from ..branch.predictors import make_direction_predictor
 from ..branch.rsb import ReturnStackBuffer
 from ..branch.unit import BranchUnit
-from ..isa.instructions import (INSTR_BYTES, WORD_BYTES, FuKind, Opcode,
-                                eval_branch, eval_int_alu, to_signed64,
+from ..isa.instructions import (ALU_EVAL, INSTR_BYTES, WORD_BYTES, FuKind,
+                                Opcode, eval_branch, to_signed64,
                                 to_unsigned64)
 from ..isa.program import Program
-from ..isa.registers import (FP_CLASS, INT_CLASS, NUM_ARCH_REGS, REG_SP,
-                             REG_ZERO, VEC_CLASS, make_register_file,
-                             reg_class)
+from ..isa.registers import (NUM_ARCH_REGS, REG_SP, REG_ZERO,
+                             make_register_file)
 from ..memory.hierarchy import (LEVEL_L1, LEVEL_MEM, LEVEL_PENDING,
                                 MemoryHierarchy)
 from ..memory.main_memory import MainMemory
@@ -55,7 +65,31 @@ LEVEL_FORWARD = "fwd"     # store-to-load forwarding
 LEVEL_RUNAHEAD = "rac"    # runahead-cache hit
 LEVEL_SL = "sl"           # SL-cache hit (secure runahead)
 
-_RENAME_CLASS = {INT_CLASS: "int", FP_CLASS: "fp", VEC_CLASS: "vec"}
+_MASK64 = (1 << 64) - 1
+
+# Hot-path opcode/FU constants (module-level binding beats repeated
+# enum-class attribute lookups inside the per-cycle loops).
+_HALT = Opcode.HALT
+_RET = Opcode.RET
+_CALL = Opcode.CALL
+_JMP = Opcode.JMP
+_JR = Opcode.JR
+_NOP = Opcode.NOP
+_FENCE = Opcode.FENCE
+_RDTSC = Opcode.RDTSC
+_CLFLUSH = Opcode.CLFLUSH
+_VSTORE = Opcode.VSTORE
+_FSTORE = Opcode.FSTORE
+_FU_MEM = FuKind.MEM
+_FU_BRANCH = FuKind.BRANCH
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Sentinel returned through the issue path when an entry parked itself
+#: on a store's wakeup list: it neither issued nor needs a retry — the
+#: store's issue will re-queue it.
+_WAIT = object()
 
 
 class SimulationError(RuntimeError):
@@ -87,11 +121,8 @@ class Core:
         if warm_icache:
             # Steady-state assumption for micro-timing experiments: the
             # code is hot (a real attacker's loop would have warmed it).
-            self.hierarchy.warm_range(0, max(program.end_pc, INSTR_BYTES))
-            line = 0
-            while line < program.end_pc:
-                self.hierarchy.l1i.fill(line)
-                line += self.config.hierarchy.line_bytes
+            self.hierarchy.warm_code_range(
+                0, max(program.end_pc, INSTR_BYTES))
         self.memory = MainMemory(memory_image)
         self.branch_unit = BranchUnit(
             direction=make_direction_predictor(self.config.predictor),
@@ -113,7 +144,9 @@ class Core:
         self.iq: List[RobEntry] = []
         self.lq: List[RobEntry] = []
         self.sq: List[RobEntry] = []
-        self.frontend: List[_Fetched] = []
+        # Front-end queue: deque because dispatch consumes from the left
+        # every cycle (O(1) popleft vs O(n) list.pop(0)).
+        self.frontend: Deque[_Fetched] = deque()
         self.fetch_pc = 0
         self.fetch_stall_until = 0
         self.fetch_halted = False
@@ -126,10 +159,22 @@ class Core:
         self.checkpoint: Optional[Checkpoint] = None
         self.runahead = runahead or NoRunahead()
         self.runahead.attach(self)
+        #: True when the controller keeps the base-class (accept-all)
+        #: dispatch filter — lets runahead-mode dispatch skip a virtual
+        #: call per instruction.
+        self._filter_is_default = (
+            type(self.runahead).filter_dispatch
+            is RunaheadController.filter_dispatch)
         self.runahead_cache = RunaheadCache(self.config.runahead.cache_entries)
 
         self.stats = CoreStats()
         self._completions = []      # heap of (completion, seq, entry)
+        #: Heap records whose entry has been squashed (they stay in
+        #: ``_completions`` until popped or compacted away).
+        self._squashed_completions = 0
+        #: Wakeup-driven scheduler: heap of (seq, entry) whose operands
+        #: are all available and which have not issued yet.
+        self._ready = []
         self._activity = False
         # Transient-window tracking (Fig. 10): base seq of the current
         # memory-stall episode and the deepest younger dispatch seen.
@@ -147,22 +192,27 @@ class Core:
     def _operand(self, entry, index):
         """Read source ``index`` of ``entry``: (value, inv)."""
         producer = entry.src_producers[index]
-        reg = entry.instr.srcs[index]
         if producer is None:
-            return self.reg_read(reg)
+            return self.reg_read(entry.instr.srcs[index])
         return producer.value, producer.inv
 
     def _operand_ready(self, entry):
-        for producer in entry.src_producers:
-            if producer is not None and producer.state != DONE:
-                return False
-        return True
+        """All source producers have completed (wakeup counter is zero)."""
+        return entry.pending_srcs == 0
 
-    def _counts_rename(self, instr):
-        dest = instr.dest
-        if dest is None or dest == REG_ZERO:
-            return None
-        return _RENAME_CLASS[reg_class(dest)]
+    def _mark_done(self, entry):
+        """Complete ``entry`` and wake every consumer waiting on it."""
+        entry.state = DONE
+        consumers = entry.consumers
+        if consumers:
+            entry.consumers = None
+            ready = self._ready
+            for consumer in consumers:
+                pending = consumer.pending_srcs - 1
+                consumer.pending_srcs = pending
+                if pending == 0 and not consumer.squashed and \
+                        consumer.state == DISPATCHED:
+                    _heappush(ready, (consumer.seq, consumer))
 
     @property
     def transient_window_max(self):
@@ -171,29 +221,45 @@ class Core:
     # ------------------------------------------------------------------- step --
 
     def step(self):
-        """Advance one cycle."""
+        """Advance one cycle.
+
+        Each stage call is gated on a cheap emptiness check here — with
+        cycle skipping active most invocations run only one or two
+        stages, and the guards are exactly the stages' own first-line
+        early exits hoisted to the caller.
+        """
         now = self.cycle
         self._activity = False
-        self.hierarchy.apply_completed(now)
+        hierarchy = self.hierarchy
+        if now >= hierarchy.next_fill:
+            hierarchy.apply_completed(now)
         self.fus.new_cycle(now)
 
         if self.mode == MODE_RUNAHEAD and self.runahead.should_exit(self, now):
             self._exit_runahead(now)
 
-        self._commit(now)
-        if self.halted:
-            self.stats.cycles = self.cycle + 1
-            return
-        self._complete(now)
-        self._issue(now)
-        self._dispatch(now)
-        self._fetch(now)
+        if not self.rob.empty:
+            self._commit(now)
+            if self.halted:
+                self.stats.cycles = now + 1
+                return
+        completions = self._completions
+        if completions and completions[0][0] <= now:
+            self._complete(now)
+        if self._ready:
+            self._issue(now)
+        frontend = self.frontend
+        if frontend and frontend[0].ready_cycle <= now:
+            self._dispatch(now)
+        if not self.fetch_halted and now >= self.fetch_stall_until:
+            self._fetch(now)
         self.cycle = now + 1
 
     def run(self, max_cycles=5_000_000):
         """Run to HALT (or quiescence/ceiling); returns the stats object."""
+        step = self.step
         while not self.halted and self.cycle < max_cycles:
-            self.step()
+            step()
             if not self._activity and not self.halted:
                 skip_to = self._next_event()
                 if skip_to is None:
@@ -205,39 +271,57 @@ class Core:
 
     def _next_event(self):
         """Earliest future cycle at which anything can change."""
-        candidates = []
-        while self._completions and self._completions[0][2].squashed:
-            heapq.heappop(self._completions)
-        if self._completions:
-            candidates.append(self._completions[0][0])
+        best = None
+        completions = self._completions
+        while completions and completions[0][2].squashed:
+            _heappop(completions)
+            self._squashed_completions -= 1
+        if completions:
+            best = completions[0][0]
         event = self.hierarchy.next_event()
-        if event is not None:
-            candidates.append(event)
+        if event is not None and (best is None or event < best):
+            best = event
         if self.frontend:
-            candidates.append(self.frontend[0].ready_cycle)
+            ready_cycle = self.frontend[0].ready_cycle
+            if best is None or ready_cycle < best:
+                best = ready_cycle
         if not self.fetch_halted and self.fetch_stall_until >= self.cycle:
             # A fetch stall lifting exactly at the current cycle must still
             # be a wake-up source, else a skip jumps over the resume point.
-            candidates.append(max(self.fetch_stall_until, self.cycle + 1))
+            resume = self.fetch_stall_until
+            if resume <= self.cycle:
+                resume = self.cycle + 1
+            if best is None or resume < best:
+                best = resume
         if self.mode == MODE_RUNAHEAD and self.checkpoint is not None:
-            candidates.append(self.checkpoint.stalling_completion)
-        if not candidates:
+            stall = self.checkpoint.stalling_completion
+            if best is None or stall < best:
+                best = stall
+        if best is None:
             return None
-        return max(min(candidates), self.cycle + 1)
+        floor = self.cycle + 1
+        return best if best > floor else floor
 
     # ----------------------------------------------------------------- commit --
 
     def _commit(self, now):
         committed = 0
-        while committed < self.config.width:
-            head = self.rob.head()
+        width = self.config.width
+        rob_head = self.rob.head
+        while committed < width:
+            head = rob_head()
             if head is None:
                 break
             if head.state != DONE:
                 if self.mode == MODE_NORMAL:
-                    self._maybe_enter_runahead(head, now)
-                    if self.mode == MODE_RUNAHEAD:
-                        continue       # head was poisoned; pseudo-retire it
+                    # Inline precondition of _maybe_enter_runahead: most
+                    # not-done heads are not memory-stalled loads.
+                    if head.is_load and head.state == ISSUED and \
+                            (head.mem_level == LEVEL_MEM or
+                             head.mem_level == LEVEL_PENDING):
+                        self._maybe_enter_runahead(head, now)
+                        if self.mode == MODE_RUNAHEAD:
+                            continue   # head was poisoned; pseudo-retire it
                 elif self._poison_stalled_head(head):
                     continue           # runahead never stalls on misses
                 break
@@ -254,14 +338,13 @@ class Core:
 
     def _commit_one(self, head, now):
         instr = head.instr
-        opcode = instr.opcode
-        if opcode is Opcode.HALT:
+        if instr.opcode is _HALT:
             self.halted = True
             self._retire_entry(head)
             self.stats.committed += 1
             return
         if head.is_store and head.mem_addr is not None:
-            if instr.opcode is Opcode.VSTORE:
+            if instr.opcode is _VSTORE:
                 lanes = head.store_value
                 self.memory.write_word(head.mem_addr, lanes[0])
                 self.memory.write_word(head.mem_addr + WORD_BYTES, lanes[1])
@@ -298,10 +381,11 @@ class Core:
     def _retire_entry(self, head):
         """Pop the head and release its resources."""
         self.rob.pop_head()
-        rename = self._counts_rename(head.instr)
+        instr = head.instr
+        rename = instr.rename_class
         if rename is not None:
             self._rename_free[rename] += 1
-        dest = head.instr.dest
+        dest = instr.dest
         if dest is not None and self.rat[dest] is head:
             self.rat[dest] = None
         if head.is_load and head in self.lq:
@@ -316,9 +400,9 @@ class Core:
         if not (head.is_load and head.state == ISSUED and
                 head.mem_level in (LEVEL_MEM, LEVEL_PENDING)):
             return False
-        head.state = DONE
+        self._mark_done(head)
         head.inv = True
-        if head.instr.opcode is Opcode.RET:
+        if head.instr.opcode is _RET:
             head.inv = False
             head.actual_target = None
             self.stats.inv_branches += 1
@@ -351,9 +435,9 @@ class Core:
         # Poison the stalling load: its result is INV, and it pseudo-retires
         # immediately, converting the blocked window into a running one.
         head.inv = True
-        head.state = DONE
+        self._mark_done(head)
         self.runahead.on_enter(self)
-        if head.instr.opcode is Opcode.RET:
+        if head.instr.opcode is _RET:
             # The stack-pointer update is valid; only the return target is
             # unknown, leaving the RSB prediction unresolvable (Fig. 4c).
             head.inv = False
@@ -374,6 +458,8 @@ class Core:
         self.sq.clear()
         self.frontend.clear()
         self._completions = []
+        self._squashed_completions = 0
+        self._ready = []
         self.arch_regs = list(checkpoint.arch_regs)
         self.arch_inv = [False] * NUM_ARCH_REGS
         self.rat = [None] * NUM_ARCH_REGS
@@ -402,11 +488,15 @@ class Core:
     # ---------------------------------------------------------------- complete --
 
     def _complete(self, now):
-        while self._completions and self._completions[0][0] <= now:
-            _, _, entry = heapq.heappop(self._completions)
-            if entry.squashed or entry.state != ISSUED:
+        completions = self._completions
+        while completions and completions[0][0] <= now:
+            entry = _heappop(completions)[2]
+            if entry.squashed:
+                self._squashed_completions -= 1
                 continue
-            entry.state = DONE
+            if entry.state != ISSUED:
+                continue
+            self._mark_done(entry)
             self._activity = True
             if entry.is_branch and not entry.resolved:
                 self._resolve_branch(entry, now)
@@ -416,7 +506,7 @@ class Core:
     def _resolve_branch(self, entry, now):
         instr = entry.instr
         unresolvable = entry.inv or entry.actual_target is None and \
-            instr.opcode in (Opcode.RET, Opcode.JR)
+            (instr.opcode is _RET or instr.opcode is _JR)
         if self.mode == MODE_RUNAHEAD and unresolvable:
             # The SPECRUN vulnerability: an INV-source branch is predicted
             # but never resolved — the prediction stands for the whole
@@ -445,10 +535,16 @@ class Core:
     def _squash_younger(self, entry):
         """Remove everything younger than ``entry`` and clean bookkeeping."""
         victims = self.rob.squash_younger(entry.seq)
+        squashed_in_heap = 0
         for victim in victims:
-            if victim.state != DISPATCHED:
+            state = victim.state
+            if state != DISPATCHED:
                 self.stats.transient_executed += 1
-            rename = self._counts_rename(victim.instr)
+                if state == ISSUED:
+                    # Its completion record is still in the heap; it will
+                    # be skipped lazily or compacted away below.
+                    squashed_in_heap += 1
+            rename = victim.instr.rename_class
             if rename is not None:
                 self._rename_free[rename] += 1
         self.stats.squashed += len(victims)
@@ -456,13 +552,30 @@ class Core:
             self.iq = [e for e in self.iq if not e.squashed]
             self.lq = [e for e in self.lq if not e.squashed]
             self.sq = [e for e in self.sq if not e.squashed]
+            self._squashed_completions += squashed_in_heap
+            self._compact_completions()
         # Rebuild the alias table from the surviving entries.
         self.rat = [None] * NUM_ARCH_REGS
+        rat = self.rat
         for survivor in self.rob:
             dest = survivor.instr.dest
             if dest is not None and dest != REG_ZERO:
-                self.rat[dest] = survivor
+                rat[dest] = survivor
         self.frontend.clear()
+
+    def _compact_completions(self):
+        """Drop squashed records once they dominate the completion heap.
+
+        Long misprediction storms can fill ``_completions`` with dead
+        entries faster than ``_complete`` pops them; compacting at the
+        half-full threshold keeps every heap operation O(log live)
+        amortized instead of O(log total-ever-squashed).
+        """
+        if self._squashed_completions * 2 > len(self._completions):
+            self._completions = [record for record in self._completions
+                                 if not record[2].squashed]
+            heapq.heapify(self._completions)
+            self._squashed_completions = 0
 
     def _recover_from_branch(self, entry, now):
         """Squash the wrong path and redirect fetch."""
@@ -497,47 +610,91 @@ class Core:
     # ------------------------------------------------------------------- issue --
 
     def _issue(self, now):
+        """Issue from the wakeup-driven ready heap, oldest first.
+
+        Entries land in ``_ready`` exactly once — at dispatch when their
+        operands are already available, or in :meth:`_mark_done` when
+        their last producer completes.  Entries that lose FU arbitration
+        are deferred and re-queued for the next cycle, preserving the
+        seq-order retry semantics of the scan this replaced.
+        """
+        ready = self._ready
+        if not ready:
+            return
         issued = 0
-        for entry in list(self.iq):
-            if issued >= self.config.issue_width:
-                break
+        width = self.config.issue_width
+        stats = self.stats
+        fus = self.fus
+        normal_mode = self.mode == MODE_NORMAL
+        deferred = None
+        while ready and issued < width:
+            record = _heappop(ready)
+            entry = record[1]
             if entry.squashed or entry.state != DISPATCHED:
-                self.iq.remove(entry)
                 continue
-            if not self._operand_ready(entry):
-                continue
-            if not self._try_issue(entry, now):
+            if normal_mode and not fus.can_issue(entry.instr.fu):
+                # Cheap FU pre-check: every issue sub-path starts with
+                # exactly this test, so losing arbitration here is the
+                # same outcome for a fraction of the work.  (Runahead
+                # mode must not pre-check — INV-source instructions
+                # issue without consuming any unit.)
+                result = False
+            else:
+                result = self._try_issue(entry, now)
+            if result is _WAIT:
+                continue    # parked on a store's wakeup list
+            if result is False:
+                if deferred is None:
+                    deferred = [record]
+                else:
+                    deferred.append(record)
                 continue
             self.iq.remove(entry)
             entry.state = ISSUED
             entry.issue_cycle = now
-            heapq.heappush(self._completions,
-                           (entry.completion, entry.seq, entry))
+            _heappush(self._completions,
+                      (entry.completion, entry.seq, entry))
             issued += 1
-            self.stats.issued += 1
+            stats.issued += 1
             self._activity = True
+            if entry.is_store and entry.store_waiters is not None:
+                # This store's address is now known: re-queue the loads
+                # that were parked behind it.  Their seqs are larger, so
+                # they are popped later in this very loop — preserving
+                # the same-cycle, seq-ordered retry the scan used to do.
+                waiters = entry.store_waiters
+                entry.store_waiters = None
+                for waiter in waiters:
+                    if not waiter.squashed and waiter.state == DISPATCHED:
+                        _heappush(ready, (waiter.seq, waiter))
+        if deferred is not None:
+            for record in deferred:
+                _heappush(ready, record)
 
     def _try_issue(self, entry, now):
         """Execute ``entry`` if resources allow; sets value/completion."""
         instr = entry.instr
-        opcode = instr.opcode
         fu = instr.fu
 
         # INV-source instructions consume no functional unit (they are
         # dropped into a 1-cycle INV move, per Mutlu'03).
         if self.mode == MODE_RUNAHEAD and not entry.filtered:
-            if any(self._operand(entry, i)[1]
-                   for i in range(len(instr.srcs))):
-                return self._issue_inv(entry, now)
+            arch_inv = self.arch_inv
+            srcs = instr.srcs
+            for index, producer in enumerate(entry.src_producers):
+                if (producer.inv if producer is not None
+                        else arch_inv[srcs[index]]):
+                    return self._issue_inv(entry, now)
 
-        if fu is FuKind.MEM:
+        if fu is _FU_MEM:
             return self._issue_mem(entry, now)
-        if fu is FuKind.BRANCH:
+        if fu is _FU_BRANCH:
             return self._issue_branch(entry, now)
 
-        if not self.fus.can_issue(fu):
+        fus = self.fus
+        if not fus.can_issue(fu):
             return False
-        latency = self.fus.issue(fu)
+        latency = fus.issue(fu)
         entry.completion = now + latency
         entry.value = self._execute_alu(entry)
         return True
@@ -547,10 +704,11 @@ class Core:
         entry.inv = True
         self.stats.inv_instructions += 1
         instr = entry.instr
-        if instr.opcode in (Opcode.CALL, Opcode.RET):
+        opcode = instr.opcode
+        if opcode is _CALL or opcode is _RET:
             entry.value = 0
             entry.actual_target = None
-        elif instr.is_store():
+        elif instr.store:
             entry.mem_addr = None
         entry.value = entry.value if entry.value is not None else 0
         entry.completion = now + 1
@@ -559,14 +717,21 @@ class Core:
     def _execute_alu(self, entry):
         """Evaluate a non-memory, non-branch instruction."""
         instr = entry.instr
+        alu = ALU_EVAL[instr.op]
+        if alu is not None:
+            # Integer ALU / MUL / DIV family — the common case, table-
+            # dispatched on the integer opcode.
+            n_srcs = instr.n_srcs
+            a = _as_int(self._operand(entry, 0)[0]) if n_srcs else 0
+            b = _as_int(self._operand(entry, 1)[0]) if n_srcs > 1 else None
+            return alu(a, b, instr.imm)
         opcode = instr.opcode
-        if opcode is Opcode.NOP or opcode is Opcode.FENCE or \
-                opcode is Opcode.HALT:
+        if opcode is _NOP or opcode is _FENCE or opcode is _HALT:
             return None
-        if opcode is Opcode.RDTSC:
+        if opcode is _RDTSC:
             return self.cycle
         values = [self._operand(entry, i)[0]
-                  for i in range(len(instr.srcs))]
+                  for i in range(instr.n_srcs)]
         if opcode in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
             a, b = float(values[0]), float(values[1])
             if opcode is Opcode.FADD:
@@ -591,34 +756,32 @@ class Core:
             return (value, value)
         if opcode is Opcode.VEXTRACT:
             return _as_vec(values[0])[instr.imm & 1]
-        a = _as_int(values[0]) if values else 0
-        b = _as_int(values[1]) if len(values) > 1 else None
-        return eval_int_alu(opcode, a, b, instr.imm)
+        raise SimulationError(f"unexpected ALU opcode: {opcode!r}")
 
     # -- branches -------------------------------------------------------------------
 
     def _issue_branch(self, entry, now):
         instr = entry.instr
         opcode = instr.opcode
-        if not self.fus.can_issue(FuKind.BRANCH):
+        if not self.fus.can_issue(_FU_BRANCH):
             return False
 
-        if opcode is Opcode.CALL:
+        if opcode is _CALL:
             return self._issue_call(entry, now)
-        if opcode is Opcode.RET:
+        if opcode is _RET:
             return self._issue_ret(entry, now)
 
-        self.fus.issue(FuKind.BRANCH)
-        if instr.is_conditional_branch():
+        self.fus.issue(_FU_BRANCH)
+        if instr.cond_branch:
             a = _as_int(self._operand(entry, 0)[0])
             b = _as_int(self._operand(entry, 1)[0])
             entry.actual_taken = eval_branch(opcode, a, b)
             entry.actual_target = instr.target if entry.actual_taken \
                 else entry.pc + INSTR_BYTES
-        elif opcode is Opcode.JMP:
+        elif opcode is _JMP:
             entry.actual_taken = True
             entry.actual_target = instr.target
-        elif opcode is Opcode.JR:
+        elif opcode is _JR:
             entry.actual_taken = True
             entry.actual_target = _as_int(self._operand(entry, 0)[0]) & ~3
         entry.completion = now + 1
@@ -627,9 +790,10 @@ class Core:
 
     def _issue_call(self, entry, now):
         """call = push return address (store) + direct jump."""
-        if not self._stores_ready_before(entry):
-            return False
-        self.fus.issue(FuKind.BRANCH)
+        blocker = self._blocking_store(entry)
+        if blocker is not None:
+            return self._wait_on_store(entry, blocker)
+        self.fus.issue(_FU_BRANCH)
         sp, _ = self._operand(entry, 0)
         new_sp = to_unsigned64(_as_int(sp) - WORD_BYTES)
         entry.mem_addr = new_sp & ~(WORD_BYTES - 1)
@@ -647,6 +811,8 @@ class Core:
         outcome = self._load_value(entry, addr, now, as_type="int")
         if outcome is None:
             return False
+        if outcome is _WAIT:
+            return _WAIT
         value, completion, poisoned = outcome
         entry.value = to_unsigned64(_as_int(sp) + WORD_BYTES)
         entry.actual_taken = True
@@ -659,13 +825,14 @@ class Core:
     def _issue_mem(self, entry, now):
         instr = entry.instr
         opcode = instr.opcode
-        if not self.fus.can_issue(FuKind.MEM):
+        fus = self.fus
+        if not fus.can_issue(_FU_MEM):
             return False
 
-        if opcode is Opcode.CLFLUSH:
+        if opcode is _CLFLUSH:
             base, _ = self._operand(entry, 0)
             addr = to_unsigned64(_as_int(base) + instr.imm)
-            self.fus.issue(FuKind.MEM)
+            fus.issue(_FU_MEM)
             self.hierarchy.flush_line(addr)
             if self.mode == MODE_RUNAHEAD and self.checkpoint is not None \
                     and self.hierarchy.line_of(addr) == \
@@ -677,14 +844,14 @@ class Core:
             entry.completion = now + 1
             return True
 
-        if instr.is_store():
+        if instr.store:
             if len(self.sq) > self.config.sq_size:
                 raise SimulationError("store queue overflow")
             value, _ = self._operand(entry, 0)
             base, _ = self._operand(entry, 1)
             addr = to_unsigned64(_as_int(base) + instr.imm) & \
                 ~(WORD_BYTES - 1)
-            self.fus.issue(FuKind.MEM)
+            fus.issue(_FU_MEM)
             entry.mem_addr = addr
             entry.store_value = _typed_store_value(opcode, value)
             entry.completion = now + 1
@@ -693,40 +860,60 @@ class Core:
         # Loads.
         base, _ = self._operand(entry, 0)
         addr = to_unsigned64(_as_int(base) + instr.imm) & ~(WORD_BYTES - 1)
-        as_type = {"load": "int", "fload": "float", "vload": "vec"}[
-            opcode.value]
-        outcome = self._load_value(entry, addr, now, as_type=as_type)
+        outcome = self._load_value(entry, addr, now, as_type=instr.load_type)
         if outcome is None:
             return False
+        if outcome is _WAIT:
+            return _WAIT
         value, completion, poisoned = outcome
         entry.value = value
         entry.inv = entry.inv or poisoned
         entry.completion = completion
         return True
 
-    def _stores_ready_before(self, entry):
-        """Conservative disambiguation: every older store has its address."""
+    def _blocking_store(self, entry):
+        """Oldest older store whose address is still unknown, or None.
+
+        Conservative disambiguation: a load (or call) may not issue
+        until every older store has computed its address.
+        """
+        seq = entry.seq
         for store in self.sq:
-            if store.seq >= entry.seq:
+            if store.seq >= seq:
                 break
             if store.state == DISPATCHED:
-                return False
-        return True
+                return store
+        return None
+
+    def _wait_on_store(self, entry, blocker):
+        """Park ``entry`` on ``blocker``'s wakeup list; returns ``_WAIT``.
+
+        The entry leaves the ready heap entirely — it is re-queued the
+        moment the blocking store issues (same cycle, in seq order)
+        instead of being re-attempted every cycle.
+        """
+        if blocker.store_waiters is None:
+            blocker.store_waiters = [entry]
+        else:
+            blocker.store_waiters.append(entry)
+        return _WAIT
 
     @staticmethod
     def _store_covers(store, addr):
         """True if ``store`` writes the word at ``addr``."""
-        if store.mem_addr is None:
+        mem_addr = store.mem_addr
+        if mem_addr is None:
             return False
-        if store.instr.opcode is Opcode.VSTORE:
-            return addr in (store.mem_addr, store.mem_addr + WORD_BYTES)
-        return addr == store.mem_addr
+        if store.instr.opcode is _VSTORE:
+            return addr == mem_addr or addr == mem_addr + WORD_BYTES
+        return addr == mem_addr
 
     def _forward_from_store(self, entry, addr):
         """Youngest older store covering the same word, if any."""
         best = None
+        seq = entry.seq
         for store in self.sq:
-            if store.seq >= entry.seq:
+            if store.seq >= seq:
                 break
             if self._store_covers(store, addr):
                 best = store
@@ -734,7 +921,7 @@ class Core:
 
     def _forwarded_value(self, store, addr, as_type):
         value = store.store_value
-        if store.instr.opcode is Opcode.VSTORE:
+        if store.instr.opcode is _VSTORE:
             value = value[1] if addr == store.mem_addr + WORD_BYTES \
                 else value[0]
         return _typed_load_value(as_type, value)
@@ -745,17 +932,20 @@ class Core:
         Returns ``(value, completion, poisoned)`` or None if the load
         cannot issue yet.  Claims the MEM port on success.
         """
-        if not self.fus.can_issue(FuKind.MEM):
+        fus = self.fus
+        if not fus.can_issue(_FU_MEM):
             return None
-        if not self._stores_ready_before(entry):
-            return None
+        blocker = self._blocking_store(entry)
+        if blocker is not None:
+            return self._wait_on_store(entry, blocker)
         entry.mem_addr = addr
 
         if as_type == "vec":
             # A vector load overlapping any in-flight store waits for the
             # store to drain (conservative; avoids partial forwarding).
+            seq = entry.seq
             for store in self.sq:
-                if store.seq >= entry.seq:
+                if store.seq >= seq:
                     break
                 if self._store_covers(store, addr) or \
                         self._store_covers(store, addr + WORD_BYTES):
@@ -763,7 +953,7 @@ class Core:
         else:
             store = self._forward_from_store(entry, addr)
             if store is not None:
-                self.fus.issue(FuKind.MEM)
+                fus.issue(_FU_MEM)
                 entry.mem_level = LEVEL_FORWARD
                 if store.inv:
                     return 0, now + 1, True
@@ -773,7 +963,7 @@ class Core:
         if self.mode == MODE_RUNAHEAD:
             cached = self.runahead_cache.read(addr)
             if cached is not None:
-                self.fus.issue(FuKind.MEM)
+                fus.issue(_FU_MEM)
                 entry.mem_level = LEVEL_RUNAHEAD
                 value, inv = cached
                 latency = self.config.hierarchy.l1d.latency
@@ -783,7 +973,7 @@ class Core:
             override = self.runahead.runahead_load_override(self, entry,
                                                             addr, now)
             if override is not None:
-                self.fus.issue(FuKind.MEM)
+                fus.issue(_FU_MEM)
                 entry.mem_level = LEVEL_SL
                 value = self._read_memory_word(addr, as_type)
                 return value, now + override, False
@@ -794,12 +984,12 @@ class Core:
             if override is not None:
                 if override is BLOCKED:
                     return None
-                self.fus.issue(FuKind.MEM)
+                fus.issue(_FU_MEM)
                 entry.mem_level = LEVEL_SL
                 value = self._read_memory_word(addr, as_type)
                 return value, now + override, False
 
-        self.fus.issue(FuKind.MEM)
+        fus.issue(_FU_MEM)
         fill = True
         if self.mode == MODE_RUNAHEAD:
             fill = self.runahead.runahead_load_fill(self, entry)
@@ -833,49 +1023,83 @@ class Core:
     # ---------------------------------------------------------------- dispatch --
 
     def _dispatch(self, now):
+        frontend = self.frontend
+        if not frontend or frontend[0].ready_cycle > now:
+            return
         dispatched = 0
-        while dispatched < self.config.width and self.frontend:
-            slot = self.frontend[0]
+        config = self.config
+        width = config.width
+        lq_size = config.lq_size
+        sq_size = config.sq_size
+        iq_size = config.iq_size
+        rob = self.rob
+        rob_capacity = rob.capacity
+        lq = self.lq
+        sq = self.sq
+        iq = self.iq
+        rat = self.rat
+        rename_free = self._rename_free
+        stats = self.stats
+        runahead_mode = self.mode == MODE_RUNAHEAD
+        filtering = runahead_mode and not self._filter_is_default
+        while dispatched < width and frontend:
+            slot = frontend[0]
             if slot.ready_cycle > now:
                 break
             instr = slot.instr
             opcode = instr.opcode
 
-            if opcode is Opcode.FENCE and (not self.rob.empty or
-                                           self.mode == MODE_RUNAHEAD):
+            if opcode is _FENCE and (len(rob) != 0 or runahead_mode):
                 # A fence waits for all older loads — including, in
                 # runahead mode, the stalling load itself, which by
                 # definition completes only at exit: runahead cannot
                 # pseudo-retire past a serialization point.
-                self.stats.fence_stalls += 1
+                stats.fence_stalls += 1
                 break
-            if self.rob.full:
+            if len(rob) >= rob_capacity:
                 break
-            rename = self._counts_rename(instr)
-            if rename is not None and self._rename_free[rename] <= 0:
+            rename = instr.rename_class
+            if rename is not None and rename_free[rename] <= 0:
                 break
-            is_load = instr.is_load() or opcode is Opcode.RET
-            is_store = instr.is_store() or opcode is Opcode.CALL
-            if is_load and len(self.lq) >= self.config.lq_size:
+            is_load = instr.pipe_load
+            is_store = instr.pipe_store
+            if is_load and len(lq) >= lq_size:
                 break
-            if is_store and len(self.sq) >= self.config.sq_size:
+            if is_store and len(sq) >= sq_size:
                 break
-            immediate = opcode in (Opcode.NOP, Opcode.HALT, Opcode.FENCE)
-            if not immediate and len(self.iq) >= self.config.iq_size:
+            immediate = instr.immediate
+            if not immediate and len(iq) >= iq_size:
                 break
 
-            self.frontend.pop(0)
+            frontend.popleft()
             self.seq += 1
             entry = RobEntry(self.seq, slot.pc, instr)
             entry.prediction = slot.prediction
-            entry.src_producers = tuple(self.rat[s] for s in instr.srcs)
-            entry.is_fence = opcode is Opcode.FENCE
-            if instr.dest is not None and instr.dest != REG_ZERO:
-                self.rat[instr.dest] = entry
+            # Wakeup registration: count in-flight producers and hook
+            # this entry onto their wakeup lists.
+            pending = 0
+            srcs = instr.srcs
+            if srcs:
+                producers = tuple(rat[s] for s in srcs)
+                entry.src_producers = producers
+                for producer in producers:
+                    if producer is not None and producer.state != DONE:
+                        pending += 1
+                        if producer.consumers is None:
+                            producer.consumers = [entry]
+                        else:
+                            producer.consumers.append(entry)
+                entry.pending_srcs = pending
+            else:
+                entry.src_producers = ()
+            entry.is_fence = opcode is _FENCE
+            dest = instr.dest
+            if dest is not None and dest != REG_ZERO:
+                rat[dest] = entry
             if rename is not None:
-                self._rename_free[rename] -= 1
-            self.rob.push(entry)
-            self.stats.dispatched += 1
+                rename_free[rename] -= 1
+            rob.push(entry)
+            stats.dispatched += 1
             dispatched += 1
             self._activity = True
 
@@ -888,7 +1112,7 @@ class Core:
                 entry.state = DONE
                 entry.value = None
                 continue
-            if self.mode == MODE_RUNAHEAD and \
+            if filtering and \
                     not self.runahead.filter_dispatch(self, instr, slot.pc):
                 # Precise runahead: outside the stall slice — complete
                 # immediately with an INV result, using no backend resources.
@@ -897,46 +1121,56 @@ class Core:
                 entry.value = 0
                 entry.state = ISSUED
                 entry.completion = now + 1
-                heapq.heappush(self._completions,
-                               (entry.completion, entry.seq, entry))
-                self.stats.filtered_instructions += 1
+                _heappush(self._completions,
+                          (entry.completion, entry.seq, entry))
+                stats.filtered_instructions += 1
                 continue
-            self.iq.append(entry)
+            iq.append(entry)
+            if pending == 0:
+                _heappush(self._ready, (entry.seq, entry))
             if is_load:
-                self.lq.append(entry)
+                lq.append(entry)
             if is_store:
-                self.sq.append(entry)
+                sq.append(entry)
 
     # ------------------------------------------------------------------- fetch --
 
     def _fetch(self, now):
         if self.fetch_halted or now < self.fetch_stall_until:
             return
+        config = self.config
+        fetch_queue = config.fetch_queue
+        if len(self.frontend) >= fetch_queue:
+            return
         fetched = 0
-        while fetched < self.config.width and \
-                len(self.frontend) < self.config.fetch_queue:
-            instr = self.program.fetch(self.fetch_pc)
+        width = config.width
+        frontend_depth = config.frontend_depth
+        frontend = self.frontend
+        program_fetch = self.program.fetch
+        hierarchy = self.hierarchy
+        stats = self.stats
+        while fetched < width and len(frontend) < fetch_queue:
+            pc = self.fetch_pc
+            instr = program_fetch(pc)
             if instr is None:
                 self.fetch_halted = True
                 break
-            line = self.hierarchy.line_of(self.fetch_pc)
+            line = hierarchy.line_of(pc)
             if line != self._last_inst_line:
-                result = self.hierarchy.access_inst(self.fetch_pc, now)
+                result = hierarchy.access_inst(pc, now)
                 if result.level != LEVEL_L1:
                     self.fetch_stall_until = result.completion
                     break
                 self._last_inst_line = line
             prediction = None
-            pc = self.fetch_pc
-            if instr.is_branch():
+            if instr.branch:
                 prediction = self.branch_unit.predict(pc, instr)
-            self.frontend.append(
-                _Fetched(pc, instr, prediction,
-                         now + self.config.frontend_depth))
-            self.stats.fetched += 1
+            frontend.append(
+                _Fetched(pc, instr, prediction, now + frontend_depth))
+            stats.fetched += 1
             fetched += 1
             self._activity = True
-            if instr.opcode is Opcode.HALT:
+            if instr.opcode is _HALT:
                 self.fetch_halted = True
                 break
             if prediction is not None and prediction.taken:
@@ -958,10 +1192,10 @@ BLOCKED = object()
 
 
 def _as_int(value):
+    if type(value) is int:
+        return value & _MASK64
     if isinstance(value, tuple):
         return to_unsigned64(value[0])
-    if isinstance(value, float):
-        return to_unsigned64(int(value))
     return to_unsigned64(int(value))
 
 
@@ -972,9 +1206,9 @@ def _as_vec(value):
 
 
 def _typed_store_value(opcode, value):
-    if opcode is Opcode.FSTORE:
+    if opcode is _FSTORE:
         return float(value)
-    if opcode is Opcode.VSTORE:
+    if opcode is _VSTORE:
         return value if isinstance(value, tuple) else (_as_int(value), 0)
     return _as_int(value)
 

@@ -4,42 +4,51 @@ Units are fully pipelined: each unit accepts one operation per cycle and
 produces its result ``latency`` cycles later.  (Real integer dividers are
 usually iterative; modeling them as pipelined slightly favours
 divide-heavy code and is irrelevant to every experiment in the paper.)
+
+``can_issue``/``issue`` are called for every issue attempt of every
+cycle, so the pool is three flat lists indexed by the integer
+:class:`~repro.isa.instructions.FuKind` value — no dict hashing on the
+hot path, and the per-cycle reset is a single list copy.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..isa.instructions import FuKind
+from ..isa.instructions import NUM_FU_KINDS, FuKind
 
 
 class FunctionalUnitPool:
     """Tracks per-cycle issue-slot availability for each unit kind."""
 
     def __init__(self, config: Dict[FuKind, Tuple[int, int]]):
-        self._counts = {kind: count for kind, (count, _) in config.items()}
-        self._latencies = {kind: lat for kind, (_, lat) in config.items()}
-        self._used: Dict[FuKind, int] = {}
+        self._counts = [0] * NUM_FU_KINDS
+        self._latencies = [0] * NUM_FU_KINDS
+        for kind, (count, latency) in config.items():
+            self._counts[kind] = count
+            self._latencies[kind] = latency
+        self._zero = [0] * NUM_FU_KINDS
+        self._used = [0] * NUM_FU_KINDS
         self._cycle = -1
 
     def new_cycle(self, cycle):
         """Reset per-cycle slot usage."""
         self._cycle = cycle
-        self._used = {}
+        self._used = self._zero.copy()
 
-    def can_issue(self, kind: FuKind) -> bool:
-        return self._used.get(kind, 0) < self._counts.get(kind, 0)
+    def can_issue(self, kind) -> bool:
+        return self._used[kind] < self._counts[kind]
 
-    def issue(self, kind: FuKind) -> int:
+    def issue(self, kind) -> int:
         """Claim a slot; returns the operation latency."""
-        used = self._used.get(kind, 0)
-        if used >= self._counts.get(kind, 0):
-            raise RuntimeError(f"no free {kind.value} unit")
+        used = self._used[kind]
+        if used >= self._counts[kind]:
+            raise RuntimeError(f"no free {FuKind(kind).label} unit")
         self._used[kind] = used + 1
         return self._latencies[kind]
 
-    def latency(self, kind: FuKind) -> int:
+    def latency(self, kind) -> int:
         return self._latencies[kind]
 
-    def count(self, kind: FuKind) -> int:
-        return self._counts.get(kind, 0)
+    def count(self, kind) -> int:
+        return self._counts[kind]

@@ -9,6 +9,13 @@ read either from a producer entry or from the architectural file.
 from the stalling load are poisoned and propagate invalidity instead of
 values.  An INV *branch* is the SPECRUN attack surface — it is predicted
 but never resolved.
+
+Scheduling is wakeup-driven: ``pending_srcs`` counts source producers
+whose results are still outstanding, and ``consumers`` is the producer's
+wakeup list — when a producer's result arrives, the core decrements each
+consumer's counter and queues the ones that reached zero for issue.  The
+issue stage therefore never scans the issue queue asking "are your
+operands ready yet?".
 """
 
 from __future__ import annotations
@@ -30,7 +37,8 @@ class RobEntry:
         "prediction", "resolved", "actual_taken", "actual_target",
         "mem_addr", "store_value", "mem_level", "is_fence", "squashed",
         "src_producers", "filtered", "taint", "btag", "issue_cycle",
-        "waiting_sl",
+        "waiting_sl", "is_branch", "is_load", "is_store",
+        "pending_srcs", "consumers", "store_waiters",
     )
 
     def __init__(self, seq, pc, instr):
@@ -56,22 +64,19 @@ class RobEntry:
         self.btag = None             # defense: (branch scope id, m) tag
         self.issue_cycle = None
         self.waiting_sl = None       # defense: blocked on SL-cache USL wait
-
-    @property
-    def is_branch(self):
-        return self.instr.is_branch()
-
-    @property
-    def is_load(self):
-        return self.instr.is_load() or self.instr.opcode.value == "ret"
-
-    @property
-    def is_store(self):
-        return self.instr.is_store() or self.instr.opcode.value == "call"
+        # Decode-time classification, copied from the instruction so the
+        # commit/queue paths read one attribute instead of two.
+        self.is_branch = instr.branch
+        self.is_load = instr.pipe_load
+        self.is_store = instr.pipe_store
+        # Wakeup scheduling state (see module docstring).
+        self.pending_srcs = 0        # outstanding source producers
+        self.consumers = None        # entries to wake when this completes
+        self.store_waiters = None    # loads waiting for this store's address
 
     def __repr__(self):
         return (f"RobEntry(seq={self.seq}, pc={self.pc:#x}, "
-                f"{self.instr.opcode.value}, state={self.state})")
+                f"{self.instr.opcode.mnemonic}, state={self.state})")
 
 
 class ReorderBuffer:
@@ -109,8 +114,9 @@ class ReorderBuffer:
     def squash_younger(self, seq):
         """Remove every entry younger than ``seq``; returns the victims."""
         victims = []
-        while self._entries and self._entries[-1].seq > seq:
-            victim = self._entries.pop()
+        entries = self._entries
+        while entries and entries[-1].seq > seq:
+            victim = entries.pop()
             victim.squashed = True
             victims.append(victim)
         return victims

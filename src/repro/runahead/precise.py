@@ -69,12 +69,13 @@ class PreciseRunahead(OriginalRunahead):
         self._slices = compute_stall_slices(core.program)
 
     def filter_dispatch(self, core, instr, pc) -> bool:
-        if instr.is_branch() or instr.is_load():
+        # Per-dispatch hot path in runahead mode: read the decode-time
+        # flags instead of calling the predicate methods.
+        if instr.branch or instr.load:
             return True
         if instr.opcode is Opcode.CLFLUSH:
             return True
-        index = pc // 4
-        return index in self._slices
+        return (pc >> 2) in self._slices
 
     @property
     def slice_size(self):

@@ -78,7 +78,8 @@ def build_zeusmp_like(elements=96, rounds=4):
         """
         return assemble(source, memory_image=image), image, None
     return Workload("zeusmp", "warm-set FP compute (zeusmp-shaped)",
-                    build, memory_bound=False)
+                    build, memory_bound=False,
+                    cache_key=f"zeusmp/{elements}/{rounds}")
 
 
 def build_wrf_like(elements=48, stride_words=3, rounds=18):
@@ -112,7 +113,8 @@ def build_wrf_like(elements=48, stride_words=3, rounds=18):
         """
         return assemble(source, memory_image=image), image, None
     return Workload("wrf", "mixed int/FP, modest miss rate (wrf-shaped)",
-                    build, memory_bound=False)
+                    build, memory_bound=False,
+                    cache_key=f"wrf/{elements}/{stride_words}/{rounds}")
 
 
 def build_bwaves_like(blocks=12, block_elements=24, block_stride_lines=4,
@@ -156,7 +158,9 @@ def build_bwaves_like(blocks=12, block_elements=24, block_stride_lines=4,
         """
         return assemble(source, memory_image=image), image, None
     return Workload("bwaves", "blocked strided FP sweep (bwaves-shaped)",
-                    build, memory_bound=True)
+                    build, memory_bound=True,
+                    cache_key=f"bwaves/{blocks}/{block_elements}/"
+                              f"{block_stride_lines}/{serial_chain}")
 
 
 def build_lbm_like(elements=360, serial_chain=8):
@@ -195,7 +199,8 @@ def build_lbm_like(elements=360, serial_chain=8):
         """
         return assemble(source, memory_image=image), image, None
     return Workload("lbm", "streaming two-stream update (lbm-shaped)",
-                    build, memory_bound=True)
+                    build, memory_bound=True,
+                    cache_key=f"lbm/{elements}/{serial_chain}")
 
 
 def build_mcf_like(nodes=160, node_words=4, seed=1234, serial_work=12):
@@ -260,7 +265,9 @@ def build_mcf_like(nodes=160, node_words=4, seed=1234, serial_work=12):
         """
         return assemble(source, memory_image=image), image, None
     return Workload("mcf", "pointer chase + arc arrays (mcf-shaped)",
-                    build, memory_bound=True)
+                    build, memory_bound=True,
+                    cache_key=f"mcf/{nodes}/{node_words}/{seed}/"
+                              f"{serial_work}")
 
 
 def build_gems_like(elements=280, serial_chain=14):
@@ -306,4 +313,5 @@ def build_gems_like(elements=280, serial_chain=14):
         """
         return assemble(source, memory_image=image), image, None
     return Workload("gems", "three-array stencil (GemsFDTD-shaped)",
-                    build, memory_bound=True)
+                    build, memory_bound=True,
+                    cache_key=f"gems/{elements}/{serial_chain}")

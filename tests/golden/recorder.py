@@ -1,0 +1,125 @@
+"""Golden-stats recorder for the hot-path refactor safety net.
+
+The optimizations in the simulator hot path (decode-time metadata,
+int-opcode dispatch, wakeup-driven scheduling) must be *behaviour
+preserving*: the refactored core has to reproduce the exact same
+``CoreStats``, cache hit counts, transient-window depths, and trial
+payloads as the pre-refactor implementation.  This module defines what
+"the same" means:
+
+* :func:`core_record` — one workload × controller run distilled to its
+  stats, per-level cache counters, transient-window max, and a hash of
+  the architectural end state;
+* :func:`preset_records` — every trial of a quick-tier harness preset
+  executed through :func:`repro.harness.runner.run_trial`, keyed by the
+  trial's spec hash.
+
+``python -m tests.golden.recorder`` regenerates
+``tests/golden/golden_stats.json``.  The fixture committed in this repo
+was recorded from the pre-refactor implementation; regenerate it only
+when a behaviour change is *intended* (and say so in the commit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+from repro.harness import presets as preset_registry
+from repro.harness.registry import get_workload, make_controller
+from repro.harness.runner import run_trial
+from repro.harness.spec import canonical_json
+
+GOLDEN_PATH = pathlib.Path(__file__).with_name("golden_stats.json")
+
+#: Quick-tier Fig. 7 kernels — the workloads the differential cores run.
+CORE_WORKLOADS = ("zeusmp", "mcf", "gems")
+
+#: Every runahead controller, including the defenses (which are
+#: controllers too): the refactor must preserve all of them.
+CORE_CONTROLLERS = ("none", "original", "precise", "vector", "secure",
+                    "branch-skip")
+
+#: Quick-tier presets to snapshot end to end (trial payload equality).
+PRESET_NAMES = ("table1", "fig4", "fig7", "fig9", "fig10", "fig11",
+                "fig12", "sec43", "sec6", "ablations")
+
+
+def _arch_state_digest(core) -> str:
+    """Stable hash of the architectural end state (registers + memory)."""
+    regs, memory = core.architectural_state()
+    payload = repr((regs, sorted(memory.items())))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def core_record(workload_name: str, controller_name: str) -> dict:
+    """Run one workload on one controller; distill everything observable."""
+    workload = get_workload(workload_name)
+    controller = make_controller(controller_name)
+    core = workload.run(runahead=controller)
+    hier = core.hierarchy
+    caches = {}
+    for label, cache in (("l1i", hier.l1i), ("l1d", hier.l1d),
+                         ("l2", hier.l2), ("l3", hier.l3)):
+        caches[label] = dataclasses.asdict(cache.stats)
+    return {
+        "stats": dataclasses.asdict(core.stats),
+        "ipc": repr(core.stats.ipc),
+        "transient_window_max": core.transient_window_max,
+        "caches": caches,
+        "hierarchy": dataclasses.asdict(hier.stats),
+        "branch": dataclasses.asdict(core.branch_unit.stats),
+        "arch_state": _arch_state_digest(core),
+    }
+
+
+def all_core_records() -> dict:
+    return {f"{workload}/{controller}": core_record(workload, controller)
+            for workload in CORE_WORKLOADS
+            for controller in CORE_CONTROLLERS}
+
+
+def preset_records(name: str) -> dict:
+    """Run every quick-tier trial of a preset; key by trial spec hash."""
+    preset = preset_registry.get(name)
+    sweep = preset.build(quick=True)
+    records = {}
+    for trial in sweep.trials:
+        key = f"{trial.label}#{trial.spec_hash()[:12]}"
+        records[key] = run_trial(trial)
+    return records
+
+
+def all_preset_records() -> dict:
+    return {name: preset_records(name) for name in PRESET_NAMES}
+
+
+def build_golden() -> dict:
+    return {"cores": all_core_records(), "presets": all_preset_records()}
+
+
+def load_golden() -> dict:
+    with GOLDEN_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def normalize(value):
+    """Round-trip through canonical JSON so float/int representations
+    compare the way they are stored in the fixture."""
+    return json.loads(canonical_json(value))
+
+
+def main() -> int:
+    golden = build_golden()
+    GOLDEN_PATH.write_text(json.dumps(golden, sort_keys=True, indent=1)
+                           + "\n", encoding="utf-8")
+    n_presets = sum(len(v) for v in golden["presets"].values())
+    print(f"wrote {GOLDEN_PATH}: {len(golden['cores'])} core records, "
+          f"{n_presets} preset trials")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,7 +49,7 @@ class TestAssemblerRoundTrip:
         """str() never raises and names the mnemonic."""
         program = assemble("\n".join(lines))
         for instr in program:
-            assert instr.opcode.value in str(instr)
+            assert instr.opcode.mnemonic in str(instr)
 
 
 class TestBranchSemantics:

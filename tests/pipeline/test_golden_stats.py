@@ -1,0 +1,64 @@
+"""Golden-stats differential tests for the hot-path refactor.
+
+``tests/golden/golden_stats.json`` was recorded from the pre-refactor
+simulator (decode-time-metadata / int-dispatch / wakeup-scheduling
+overhaul, PR 2).  These tests assert the optimized core reproduces it
+*byte for byte*:
+
+* every quick-tier Fig. 7 kernel × every runahead controller (including
+  both defenses) must yield identical ``CoreStats``, per-level cache
+  hit/miss/fill counts, transient-window maxima, branch-unit counters,
+  and architectural end state;
+* every quick-tier harness preset trial (all 10 paper figures) must
+  yield an identical result payload through ``run_trial``.
+
+If a future change *intends* to alter behaviour, regenerate the fixture
+with ``python -m tests.golden.recorder`` and say so in the commit; a
+mismatch here otherwise means the fast path broke timing equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden import recorder
+
+GOLDEN = recorder.load_golden()
+
+CORE_KEYS = sorted(GOLDEN["cores"])
+PRESET_NAMES = sorted(GOLDEN["presets"])
+
+
+def test_fixture_covers_expected_grid():
+    """The fixture spans the full workload × controller grid and every
+    quick-tier preset (guards against silently-thinned coverage)."""
+    expected_cores = {f"{workload}/{controller}"
+                      for workload in recorder.CORE_WORKLOADS
+                      for controller in recorder.CORE_CONTROLLERS}
+    assert set(GOLDEN["cores"]) == expected_cores
+    assert set(GOLDEN["presets"]) == set(recorder.PRESET_NAMES)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("key", CORE_KEYS)
+def test_core_stats_match_golden(key):
+    workload, controller = key.split("/")
+    fresh = recorder.normalize(recorder.core_record(workload, controller))
+    want = GOLDEN["cores"][key]
+    assert fresh.keys() == want.keys()
+    for field in want:
+        assert fresh[field] == want[field], \
+            f"{key}: {field} diverged from the pre-refactor recording"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_preset_trials_match_golden(name):
+    fresh = recorder.normalize(recorder.preset_records(name))
+    want = GOLDEN["presets"][name]
+    assert fresh.keys() == want.keys(), \
+        f"preset {name}: trial grid changed"
+    for trial_key in want:
+        assert fresh[trial_key] == want[trial_key], \
+            f"preset {name}: {trial_key} diverged from the " \
+            f"pre-refactor recording"
