@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Multi-byte secret extraction through a noisy covert channel.
+
+The Fig. 9 PoC reads one planted byte from a perfect, noise-free probe.
+This demo runs the realistic version (see docs/CHANNELS.md): the
+transmit gadget loops over a secret buffer, a flush+reload receiver
+measures the simulated cache hierarchy under injected noise (timing
+jitter, co-runner evictions, prefetch pollution), and multi-trial
+statistical decoding — per-index latency medians plus majority voting —
+reassembles the secret.  A single noisy trial usually fails; a handful
+of trials recovers every byte, and the effective channel bandwidth is
+reported from simulated cycle counts.
+
+Everything is deterministic under the fixed seed, including the noise.
+"""
+
+from repro.channel import extract_secret
+
+SECRET = "SPECRUN!"
+NOISE = {"jitter": 24, "evict_rate": 0.04, "pollute_rate": 0.04}
+SEED = 7
+
+
+def show(result):
+    print(f"  {result.describe()}")
+    marks = "".join("+" if b.correct else "x" for b in result.bytes_)
+    print(f"  per-byte outcome : {marks}   "
+          f"(confidence {', '.join(f'{b.confidence:.2f}' for b in result.bytes_)})")
+    print()
+
+
+def main():
+    print("noisy covert-channel extraction "
+          f"(secret {SECRET!r}, noise {NOISE})")
+    print()
+
+    print("one trial per byte — the single-shot Fig. 9 criterion "
+          "mostly drowns:")
+    show(extract_secret(SECRET, receiver="flush-reload", trials=1,
+                        noise=NOISE, seed=SEED))
+
+    print("five trials per byte — medians + majority vote recover it:")
+    five = extract_secret(SECRET, receiver="flush-reload", trials=5,
+                          noise=NOISE, seed=SEED)
+    show(five)
+
+    print("evict+reload (no clflush available) under the same noise:")
+    show(extract_secret(SECRET, receiver="evict-reload", trials=5,
+                        noise=NOISE, seed=SEED))
+
+    print(f"recovered secret: {five.recovered_text()!r} "
+          f"(success rate {five.success_rate:.0%}, "
+          f"{five.bandwidth_bits_per_s():,.0f} bits/s at 2 GHz)")
+
+
+if __name__ == "__main__":
+    main()

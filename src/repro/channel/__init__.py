@@ -1,0 +1,31 @@
+"""Covert-channel receiver subsystem (see docs/CHANNELS.md).
+
+A new layer between the core simulator and the attack orchestration:
+receiver models (flush+reload, evict+reload, prime+probe) measured
+against the simulated :class:`~repro.memory.hierarchy.MemoryHierarchy`,
+deterministic injectable noise, multi-trial statistical decoding, and
+multi-byte secret extraction with channel-bandwidth metrics.
+"""
+
+from .decode import ChannelDecode, decode_trials, dip_space, signal_indices
+from .extract import (DEFAULT_CLOCK_HZ, ByteResult, ExtractionResult,
+                      extract_secret, render_byte_text)
+from .noise import (NO_NOISE, NoiseDraw, NoiseModel, SplitMix64,
+                    derive_seed)
+from .receiver import (RECEIVERS, EvictReloadReceiver, FlushReloadReceiver,
+                       PrimeProbeReceiver, ProbeLayout, ProbeVector,
+                       Receiver, eviction_set, make_receiver,
+                       receiver_class)
+from .session import (ChannelOutcome, calibrate_receiver,
+                      run_channel_attack)
+
+__all__ = [
+    "ChannelDecode", "decode_trials", "dip_space", "signal_indices",
+    "DEFAULT_CLOCK_HZ", "ByteResult", "ExtractionResult", "extract_secret",
+    "render_byte_text",
+    "NO_NOISE", "NoiseDraw", "NoiseModel", "SplitMix64", "derive_seed",
+    "RECEIVERS", "EvictReloadReceiver", "FlushReloadReceiver",
+    "PrimeProbeReceiver", "ProbeLayout", "ProbeVector", "Receiver",
+    "eviction_set", "make_receiver", "receiver_class",
+    "ChannelOutcome", "calibrate_receiver", "run_channel_attack",
+]

@@ -1,0 +1,295 @@
+"""Covert-channel receiver models driven against the simulated hierarchy.
+
+The paper's Fig. 9 PoC times its probe loop *inside* the victim's own
+program — a perfect, noise-free oracle.  Real transient-execution
+attacks instead run a **receiver** beside the victim: it prepares the
+cache (flush, evict or prime), lets the victim's transmit gadget leave
+its footprint, and then measures.  This module provides the three
+classic receiver strategies against :class:`~repro.memory.hierarchy.
+MemoryHierarchy`:
+
+``FlushReloadReceiver``
+    The probe lines are ``clflush``-ed (the attack program's own flush
+    phase, step ② of Fig. 8); the receiver reloads each line and times
+    it.  Signal = a *fast* line.
+``EvictReloadReceiver``
+    No ``clflush``: the receiver constructs per-level eviction sets
+    from the hierarchy's real set mapping and walks them to push the
+    probe lines out.  Reload timing as above; lines the attacker's own
+    training warmed (and could not flush) are excluded via
+    ``ignore_indices``.
+``PrimeProbeReceiver``
+    The receiver never touches the victim's lines at all: it fills
+    ("primes") the cache sets the probe lines map to with its own
+    eviction-set lines, and afterwards times those lines.  A victim fill
+    evicts one primed way, so signal = a *slow* set (``signal_low`` is
+    False).  Program activity disturbs a deterministic baseline of sets;
+    a calibration run (see :mod:`repro.channel.session`) measures and
+    excludes them.
+
+Every receiver follows the same protocol: ``prepare()`` before the run,
+``measure(now, draw) -> ProbeVector`` afterwards — once per trial.
+``measure`` is read-only against the hierarchy (it uses
+:meth:`~repro.memory.hierarchy.MemoryHierarchy.probe_latency`), which is
+what makes multi-trial measurement of a single simulated run sound: the
+probe cannot destroy the footprint it is reading, and each trial differs
+only by its injected :class:`~repro.channel.noise.NoiseDraw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..memory.cache import CacheConfig
+from ..memory.hierarchy import MemoryHierarchy
+from .noise import NO_NOISE, NoiseDraw
+
+#: Tag offset for receiver-owned eviction lines.  Shifted past every
+#: cache's index bits this puts them far above the attack image
+#: (which lives around 1-2 MB), so they can never alias victim data.
+EVICTION_TAG_BASE = 1 << 16
+
+
+@dataclass(frozen=True)
+class ProbeLayout:
+    """Geometry of the transmit array the receiver monitors."""
+
+    base: int          # address of probe entry 0 (line-aligned)
+    entries: int       # number of candidate secret values
+    stride: int        # bytes between entries (>= line size)
+
+    @classmethod
+    def from_attack(cls, attack) -> "ProbeLayout":
+        """Layout of an :class:`~repro.attack.gadgets.AttackProgram`."""
+        return cls(base=attack.array2_addr, entries=attack.probe_entries,
+                   stride=attack.probe_stride)
+
+    def line(self, index: int) -> int:
+        """Line address the transmit gadget touches for value ``index``."""
+        return self.base + index * self.stride
+
+
+@dataclass(frozen=True)
+class ProbeVector:
+    """One trial's measurement: a latency per candidate index.
+
+    ``signal_low`` tells the decoder which tail carries the signal:
+    reload channels see the victim's line as *fast*, prime+probe sees
+    the victim's set as *slow*.
+    """
+
+    latencies: Tuple[int, ...]
+    signal_low: bool = True
+    trial: int = 0
+    receiver: str = ""
+
+
+def eviction_set(config: CacheConfig, line: int, ways: Optional[int] = None,
+                 salt: int = 0) -> List[int]:
+    """Receiver-owned line addresses mapping to ``line``'s set.
+
+    Uses the same index arithmetic as
+    :class:`~repro.memory.cache.SetAssociativeCache` (line bits, then
+    ``n_sets`` index bits), with tags drawn from a reserved high range so
+    the addresses are disjoint from any victim allocation.  ``salt``
+    separates the eviction sets different receivers build for the same
+    set.
+    """
+    shift = (config.line_bytes - 1).bit_length()
+    set_bits = config.n_sets.bit_length() - 1
+    set_index = (line >> shift) & (config.n_sets - 1)
+    ways = config.assoc if ways is None else ways
+    base_tag = EVICTION_TAG_BASE * (salt + 1)
+    return [((base_tag + way) << (shift + set_bits)) | (set_index << shift)
+            for way in range(ways)]
+
+
+class Receiver:
+    """Base class: binds a probe layout to one hierarchy instance.
+
+    Subclasses set the class attributes and implement ``prepare`` /
+    ``_index_latency``.  A receiver instance is single-run: ``prepare``
+    may mutate the hierarchy, so the session builds a fresh receiver per
+    simulated run.
+    """
+
+    name = "base"
+    #: Whether the attack program's in-assembly probe-array flush phase
+    #: should run (flush+reload owns a working ``clflush``).
+    uses_clflush = False
+    #: True when the signal is a fast line (reload channels).
+    signal_low = True
+    #: True when decoding needs a baseline run to subtract deterministic
+    #: self-interference (prime+probe).
+    needs_calibration = False
+
+    def __init__(self, layout: ProbeLayout, hierarchy: MemoryHierarchy):
+        self.layout = layout
+        self.hierarchy = hierarchy
+        self.hit_latency = hierarchy.config.data_hit_latency
+        self.miss_latency = hierarchy.config.data_miss_latency
+
+    # -- protocol ---------------------------------------------------------------
+
+    def probe_lines(self) -> List[int]:
+        """The victim-side lines whose state encodes the secret."""
+        return [self.layout.line(i) for i in range(self.layout.entries)]
+
+    def noise_lines(self) -> List[int]:
+        """Lines the noise model perturbs (receiver-monitored lines)."""
+        return self.probe_lines()
+
+    def prepare(self) -> None:
+        """Reset the channel before the victim runs (flush/evict/prime)."""
+        raise NotImplementedError
+
+    def measure(self, now: int, draw: NoiseDraw = NO_NOISE,
+                trial: int = 0) -> ProbeVector:
+        """Time every candidate index at cycle ``now`` (read-only)."""
+        latencies = []
+        for index in range(self.layout.entries):
+            latency = self._index_latency(index, now, draw)
+            latencies.append(max(1, latency + draw.jitter(index)))
+        return ProbeVector(latencies=tuple(latencies),
+                           signal_low=self.signal_low, trial=trial,
+                           receiver=self.name)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _line_latency(self, line: int, now: int, draw: NoiseDraw) -> int:
+        """Observed latency of one monitored line under the noise draw."""
+        if line in draw.evicted:
+            return self.miss_latency
+        if line in draw.polluted:
+            return self._polluted_latency()
+        latency, _ = self.hierarchy.probe_latency(line, now)
+        return latency
+
+    def _polluted_latency(self) -> int:
+        return self.hit_latency
+
+    def _index_latency(self, index: int, now: int, draw: NoiseDraw) -> int:
+        raise NotImplementedError
+
+
+class _ReloadReceiver(Receiver):
+    """Shared reload-timing half of flush+reload and evict+reload."""
+
+    def _index_latency(self, index: int, now: int, draw: NoiseDraw) -> int:
+        return self._line_latency(self.layout.line(index), now, draw)
+
+
+class FlushReloadReceiver(_ReloadReceiver):
+    """Flush+Reload: ``clflush`` the probe lines, reload and time them.
+
+    The flush half runs inside the attack program (its step-② flush
+    phase survives in the external-probe build); ``prepare`` re-flushes
+    defensively so the receiver is also usable standalone.  With no
+    noise and one trial this reproduces the Fig. 9 single-dip result of
+    the in-program probe loop exactly (same recovered index, same
+    unambiguous-dip criterion).
+    """
+
+    name = "flush-reload"
+    uses_clflush = True
+
+    def prepare(self) -> None:
+        for line in self.probe_lines():
+            self.hierarchy.flush_line(line)
+
+
+class EvictReloadReceiver(_ReloadReceiver):
+    """Evict+Reload: no ``clflush`` — evict probe lines via set conflicts.
+
+    ``prepare`` walks per-level eviction sets (built against the real
+    L1D/L2/L3 set mapping) so every probe line's set is filled with
+    receiver lines, pushing any resident probe line out.  Because the
+    attack program can no longer flush between training and trigger,
+    lines the training phase itself warmed stay hot — the session
+    excludes them via ``AttackProgram.warmed_probe_indices``.
+    """
+
+    name = "evict-reload"
+    uses_clflush = False
+
+    def prepare(self) -> None:
+        lines = self.probe_lines()
+        for salt, cache in enumerate((self.hierarchy.l1d, self.hierarchy.l2,
+                                      self.hierarchy.l3)):
+            seen_sets = set()
+            shift = (cache.config.line_bytes - 1).bit_length()
+            mask = cache.config.n_sets - 1
+            for line in lines:
+                set_index = (line >> shift) & mask
+                if set_index in seen_sets:
+                    continue
+                seen_sets.add(set_index)
+                for ev_line in eviction_set(cache.config, line, salt=salt):
+                    cache.fill(ev_line)
+
+
+class PrimeProbeReceiver(Receiver):
+    """Prime+Probe against the L3 sets the probe entries map to.
+
+    With the paper's geometry (4 MB, 8-way L3; 512-byte probe stride)
+    every one of the 256 probe entries maps to a *distinct* L3 set, so
+    the channel resolves a full byte.  ``prepare`` fills each such set
+    with an 8-way eviction set; the victim's transmit fill evicts one
+    primed way, and ``measure`` reports the slowest line of each set —
+    fast (L3 hit) for untouched sets, memory-slow where the victim (or
+    deterministic program activity, removed by calibration) landed.
+    """
+
+    name = "prime-probe"
+    uses_clflush = False
+    signal_low = False
+    needs_calibration = True
+
+    def __init__(self, layout: ProbeLayout, hierarchy: MemoryHierarchy):
+        super().__init__(layout, hierarchy)
+        cache = hierarchy.l3
+        self._sets: List[List[int]] = [
+            eviction_set(cache.config, layout.line(i), salt=7)
+            for i in range(layout.entries)]
+        # A primed line re-probed after the victim ran sits in L3 (we
+        # prime L3 only, so the L1/L2 walk misses first).
+        self.hit_latency = (hierarchy.config.l1d.latency +
+                            hierarchy.config.l2.latency +
+                            hierarchy.config.l3.latency)
+
+    def noise_lines(self) -> List[int]:
+        return [line for ev_set in self._sets for line in ev_set]
+
+    def prepare(self) -> None:
+        for ev_set in self._sets:
+            for line in ev_set:
+                self.hierarchy.l3.fill(line)
+
+    def _polluted_latency(self) -> int:
+        return self.hit_latency
+
+    def _index_latency(self, index: int, now: int, draw: NoiseDraw) -> int:
+        return max(self._line_latency(line, now, draw)
+                   for line in self._sets[index])
+
+
+RECEIVERS: Dict[str, Type[Receiver]] = {
+    FlushReloadReceiver.name: FlushReloadReceiver,
+    EvictReloadReceiver.name: EvictReloadReceiver,
+    PrimeProbeReceiver.name: PrimeProbeReceiver,
+}
+
+
+def receiver_class(name: str) -> Type[Receiver]:
+    try:
+        return RECEIVERS[name]
+    except KeyError:
+        raise KeyError(f"unknown receiver {name!r}; "
+                       f"known: {sorted(RECEIVERS)}") from None
+
+
+def make_receiver(name: str, layout: ProbeLayout,
+                  hierarchy: MemoryHierarchy) -> Receiver:
+    """Instantiate a fresh receiver bound to one hierarchy."""
+    return receiver_class(name)(layout, hierarchy)

@@ -1,0 +1,192 @@
+"""Channel-attack orchestration: one simulated run, many receiver trials.
+
+The simulator is deterministic, so the expensive part of a noisy-channel
+experiment — the cycle-level run that plants the transmit footprint — is
+executed **once**; every trial then re-measures the finished hierarchy
+through a read-only receiver with an independently seeded noise draw.
+That keeps a trials-vs-success-rate sweep linear in secret bytes rather
+than in ``bytes x trials``, and makes the whole experiment a pure
+function of ``(attack spec, receiver, noise spec, seed)``.
+
+The flow per transmitted value:
+
+1. build a fresh :class:`~repro.pipeline.core.Core` on the
+   external-probe attack program, ``receiver.prepare()``, run to halt;
+2. for prime+probe, optionally run a *calibration* core first (same
+   program with a benign trigger index) to learn the deterministic
+   baseline of self-disturbed sets, which decoding then ignores;
+3. measure ``trials`` probe vectors (per-trial noise seeded from
+   :func:`~repro.channel.noise.derive_seed`), decode with
+   :func:`~repro.channel.decode.decode_trials`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..pipeline.config import CoreConfig
+from ..pipeline.core import Core
+from .decode import ChannelDecode, decode_trials, signal_indices
+from .noise import NO_NOISE, NoiseModel, SplitMix64, derive_seed
+from .receiver import ProbeLayout, Receiver, make_receiver, receiver_class
+
+DEFAULT_MAX_CYCLES = 3_000_000
+
+
+@dataclass
+class ChannelOutcome:
+    """Everything one channel run produced."""
+
+    receiver: str
+    trials: int
+    noise: Optional[dict]             # the noise spec actually applied
+    decode: ChannelDecode
+    ignore_indices: Tuple[int, ...]
+    stats: object                     # CoreStats of the main run
+    cycles: int                       # cycles of the main run
+    #: Cycles the receiver itself spends probing: the serial sum of all
+    #: measured latencies across trials (a real receiver's reload/probe
+    #: loop).  Charged to the channel-bandwidth denominator.
+    measure_cycles: int = 0
+    calibration_cycles: int = 0
+
+    @property
+    def recovered(self) -> Optional[int]:
+        return self.decode.recovered
+
+    @property
+    def confidence(self) -> float:
+        return self.decode.confidence
+
+    @property
+    def report(self):
+        return self.decode.report
+
+    def to_dict(self) -> dict:
+        return {
+            "receiver": self.receiver,
+            "trials": self.trials,
+            "noise": self.noise,
+            "recovered": self.recovered,
+            "confidence": self.confidence,
+            "votes": {str(k): v for k, v in sorted(self.decode.votes.items())},
+            "ignore_indices": list(self.ignore_indices),
+            "cycles": self.cycles,
+            "measure_cycles": self.measure_cycles,
+            "calibration_cycles": self.calibration_cycles,
+        }
+
+
+def _run_core(attack, runahead, config, max_cycles,
+              receiver_name: Optional[str] = None):
+    """Build, prepare and run one core; returns (core, receiver)."""
+    core = Core(attack.program, memory_image=attack.image, config=config,
+                runahead=runahead, initial_sp=attack.initial_sp,
+                warm_icache=True)
+    receiver = None
+    if receiver_name is not None:
+        receiver = make_receiver(receiver_name,
+                                 ProbeLayout.from_attack(attack),
+                                 core.hierarchy)
+        receiver.prepare()
+    core.run(max_cycles=max_cycles)
+    if not core.halted:
+        raise RuntimeError(
+            f"attack program did not finish in {max_cycles} cycles")
+    return core, receiver
+
+
+def calibrate_receiver(calibration_attack, runahead, config: CoreConfig,
+                       receiver_name: str,
+                       max_cycles: int = DEFAULT_MAX_CYCLES) \
+        -> Tuple[Tuple[int, ...], int]:
+    """Run the benign-trigger program once and learn the self-noise.
+
+    Returns ``(ignore_indices, cycles)``: the probe indices the
+    receiver observes as signal even though no secret was transmitted
+    (program data/code sharing sets with probe entries, the training
+    phase's own transmit, ...).  Addresses — and therefore this set —
+    are identical across secret values, so one calibration serves a
+    whole multi-byte extraction.
+    """
+    core, receiver = _run_core(calibration_attack, runahead, config,
+                               max_cycles, receiver_name)
+    vector = receiver.measure(core.cycle, NO_NOISE, trial=0)
+    baseline = signal_indices(vector)
+    return tuple(sorted(baseline)), core.stats.cycles
+
+
+def run_channel_attack(attack, runahead, config: Optional[CoreConfig],
+                       receiver: str, noise=None, trials: int = 1,
+                       seed: int = 0,
+                       max_cycles: int = DEFAULT_MAX_CYCLES,
+                       extra_ignore: Iterable[int] = (),
+                       calibration_attack=None,
+                       calibration_runahead=None) -> ChannelOutcome:
+    """Run one external-probe attack and decode it through a receiver.
+
+    Parameters mirror :class:`~repro.attack.specrun.SpecRunAttack` plus:
+
+    receiver:
+        Registry name (``flush-reload`` / ``evict-reload`` /
+        ``prime-probe``).
+    noise:
+        ``None``, a :class:`~repro.channel.noise.NoiseModel`, or its
+        JSON spec dict.  Applied per trial with independent draws.
+    trials:
+        Number of measurement trials decoded together.
+    seed:
+        Base seed; per-trial noise streams derive from it, so the whole
+        outcome is reproducible at any worker count.
+    extra_ignore:
+        Probe indices excluded from decoding (e.g. a precomputed
+        calibration baseline shared across an extraction).
+    calibration_attack / calibration_runahead:
+        Benign-trigger program (and a fresh controller for it) used when
+        the receiver needs calibration and no ``extra_ignore`` baseline
+        was supplied.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    config = config or CoreConfig.paper()
+    model = NoiseModel.from_spec(noise)
+    cls = receiver_class(receiver)
+    if not attack.external_probe:
+        raise ValueError(
+            "channel receivers need an external-probe attack program "
+            "(build with external_probe=True)")
+
+    ignore = set(extra_ignore)
+    if not cls.uses_clflush:
+        # No in-program flush between training and trigger: entries the
+        # attacker's own training warmed stay hot and must not decode.
+        ignore.update(attack.warmed_probe_indices)
+    calibration_cycles = 0
+    if cls.needs_calibration and calibration_attack is not None:
+        baseline, calibration_cycles = calibrate_receiver(
+            calibration_attack, calibration_runahead, config, receiver,
+            max_cycles)
+        ignore.update(baseline)
+
+    core, live = _run_core(attack, runahead, config, max_cycles, receiver)
+    now = core.cycle
+    lines = live.noise_lines()
+    n_indices = live.layout.entries
+    vectors = []
+    for trial in range(trials):
+        if model is not None:
+            rng = SplitMix64(derive_seed("channel", seed, trial))
+            draw = model.draw(rng, lines, n_indices)
+        else:
+            draw = NO_NOISE
+        vectors.append(live.measure(now, draw, trial=trial))
+    decoded = decode_trials(vectors, ignore_indices=ignore)
+    measure_cycles = sum(sum(v.latencies) for v in vectors)
+    return ChannelOutcome(
+        receiver=receiver, trials=trials,
+        noise=model.to_spec() if model is not None else None,
+        decode=decoded, ignore_indices=tuple(sorted(ignore)),
+        stats=core.stats, cycles=core.stats.cycles,
+        measure_cycles=measure_cycles,
+        calibration_cycles=calibration_cycles)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from ..analysis.report import format_latency_plot, format_table
+from ..analysis.report import format_bars, format_latency_plot, format_table
 from .aggregate import (attack_matrix, geometric_mean_speedup, ipc_table,
                         speedup_bars)
 from .executor import SweepResult
@@ -23,6 +23,7 @@ from .registry import make_config
 from .spec import Sweep
 
 ATTACK_VARIANTS = ("pht", "btb", "rsb-overwrite", "rsb-flush")
+CHANNEL_RECEIVERS = ("flush-reload", "evict-reload", "prime-probe")
 DEFENSE_MACHINES = ("original", "secure", "branch-skip")
 RUNAHEAD_VARIANTS = ("original", "precise", "vector")
 FIG7_KERNELS = ("zeusmp", "wrf", "bwaves", "lbm", "mcf", "gems")
@@ -148,6 +149,112 @@ def _render_fig9(result: SweepResult) -> str:
             f"runahead episodes    : {res['stats']['runahead_episodes']}\n"
             f"unresolved branches  : {res['stats']['inv_branches']}\n"
             f"(paper: drop at index 86, ~100 vs ~350 cycles)")
+
+
+# ------------------------------------------------------- fig9_noise_sweep
+
+#: A noisy covert channel: probe jitter, co-runner evictions and
+#: prefetch pollution — strong enough that one trial usually fails and
+#: multi-trial aggregation is required.
+FIG9_NOISE = {"jitter": 24, "evict_rate": 0.04, "pollute_rate": 0.04}
+FIG9_NOISE_TRIALS = (1, 3, 5, 9)
+FIG9_NOISE_TRIALS_QUICK = (1, 5)
+FIG9_NOISE_SECRET = [83, 80, 69, 67]          # "SPEC"
+FIG9_NOISE_SECRET_QUICK = [83, 67]            # "SC"
+#: Fixed base seed shared by every trials point, so a larger trial
+#: count extends (rather than re-rolls) the smaller one's noise draws.
+#: That makes the points comparable (prefix property), but decoding is
+#: a majority vote, so monotonicity of the success curve is an
+#: *empirical* property of these committed constants — pinned by
+#: benchmarks/bench_channel_noise.py, re-verify when retuning.
+FIG9_NOISE_SEED = 7
+
+
+def _build_fig9_noise(quick: bool = False) -> Sweep:
+    trials_axis = FIG9_NOISE_TRIALS_QUICK if quick else FIG9_NOISE_TRIALS
+    secret = FIG9_NOISE_SECRET_QUICK if quick else FIG9_NOISE_SECRET
+    sweep = Sweep("fig9_noise_sweep",
+                  description="Fig. 9 under a noisy receiver: "
+                              "success rate vs measurement trials")
+    for trials in trials_axis:
+        sweep.add("extract", variant="pht", receiver="flush-reload",
+                  secret=secret, trials=trials, noise=dict(FIG9_NOISE),
+                  runahead="original", seed=FIG9_NOISE_SEED)
+    return sweep
+
+
+def _render_fig9_noise(result: SweepResult) -> str:
+    rows = []
+    labels, rates = [], []
+    for record in result.select("extract"):
+        res = record["result"]
+        rows.append((res["trials"], f"{res['success_rate']:.2f}",
+                     _recovered_text(res["recovered"]),
+                     f"{res['bits_per_kcycle']:.3f}",
+                     f"{res['bandwidth_bits_per_s']:,.0f}"))
+        labels.append(f"{res['trials']} trial(s)")
+        rates.append(res["success_rate"])
+    table = format_table(
+        ["trials", "success rate", "recovered", "bits/kcycle", "bits/s"],
+        rows)
+    secret = result.select("extract")[0]["result"]["secret"]
+    return (f"{table}\n\nsuccess rate vs trials:\n"
+            f"{format_bars(labels, rates)}\n\n"
+            f"planted secret: {_recovered_text(secret)!r} | noise: "
+            f"{FIG9_NOISE} | receiver: flush-reload\n"
+            "one noisy trial rarely decodes; median aggregation + "
+            "majority vote across\ntrials recovers the full secret "
+            "(bandwidth = correctly recovered bits /\nsimulated cycles "
+            "at a nominal 2 GHz clock).")
+
+
+# ------------------------------------------------------ channel_bandwidth
+
+CHANNEL_BW_NOISE = {"jitter": 12, "evict_rate": 0.01, "pollute_rate": 0.01}
+#: Trials cost only measurement (the victim run is simulated once), so
+#: the bandwidth table can afford enough of them that prime+probe — the
+#: noisiest strategy (any of 8 primed ways per set can be hit) — votes
+#: its way past per-trial false positives.
+CHANNEL_BW_TRIALS = 5
+
+
+def _build_channel_bandwidth(quick: bool = False) -> Sweep:
+    secret = FIG9_NOISE_SECRET_QUICK if quick else FIG9_NOISE_SECRET
+    sweep = Sweep("channel_bandwidth",
+                  description="covert-channel bandwidth per receiver "
+                              "strategy")
+    for receiver in CHANNEL_RECEIVERS:
+        sweep.add("extract", variant="pht", receiver=receiver,
+                  secret=secret, trials=CHANNEL_BW_TRIALS,
+                  noise=dict(CHANNEL_BW_NOISE), runahead="original",
+                  seed=FIG9_NOISE_SEED)
+    return sweep
+
+
+def _render_channel_bandwidth(result: SweepResult) -> str:
+    rows = []
+    for record in result.select("extract"):
+        res = record["result"]
+        kcycles = res["total_cycles"] / 1000.0
+        rows.append((res["receiver"], f"{res['success_rate']:.2f}",
+                     _recovered_text(res["recovered"]),
+                     f"{kcycles:.1f}",
+                     f"{res['bits_per_kcycle']:.3f}",
+                     f"{res['bandwidth_bits_per_s']:,.0f}"))
+    table = format_table(
+        ["receiver", "success rate", "recovered", "kcycles",
+         "bits/kcycle", "bits/s @2GHz"], rows)
+    return (f"{table}\n\nmild noise ({CHANNEL_BW_NOISE}), "
+            f"{CHANNEL_BW_TRIALS} trials per byte.\n"
+            "flush+reload is the paper's channel; evict+reload drops the "
+            "clflush\nrequirement (training-warmed entries are excluded); "
+            "prime+probe watches its\nown primed L3 sets and pays one "
+            "benign calibration run.")
+
+
+def _recovered_text(values) -> str:
+    from ..channel.extract import render_byte_text
+    return render_byte_text(values)
 
 
 # ----------------------------------------------------------------- fig10
@@ -390,6 +497,12 @@ PRESETS: Dict[str, Preset] = {
                _build_fig7, _render_fig7),
         Preset("fig9", "Fig. 9: PoC probe-latency dip",
                _build_fig9, _render_fig9),
+        Preset("fig9_noise_sweep",
+               "noisy-channel success rate vs measurement trials",
+               _build_fig9_noise, _render_fig9_noise),
+        Preset("channel_bandwidth",
+               "covert-channel bandwidth per receiver strategy",
+               _build_channel_bandwidth, _render_channel_bandwidth),
         Preset("fig10", "Fig. 10: transient-window scenarios",
                _build_fig10, _render_fig10),
         Preset("fig11", "Fig. 11: leaking beyond the ROB",

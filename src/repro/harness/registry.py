@@ -11,6 +11,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from ..channel.noise import NoiseModel
+from ..channel.receiver import RECEIVERS, receiver_class
 from ..defense.restrictions import BranchRestrictedRunahead
 from ..defense.secure import SecureRunahead
 from ..isa.assembler import assemble
@@ -87,6 +89,24 @@ def make_config(base: str = "paper",
         config = config.with_overrides(
             runahead=dataclasses.replace(config.runahead, **ra_over))
     return config
+
+
+def resolve_receiver(name: Optional[str]):
+    """Validate a covert-channel receiver name (see ``RECEIVERS``).
+
+    Returns the receiver class, or ``None`` for ``None`` (the in-program
+    probe path).  Raises ``KeyError`` with the known names otherwise —
+    trials carry receiver *names* only; instances are built per run
+    inside :mod:`repro.channel.session`.
+    """
+    if name is None:
+        return None
+    return receiver_class(name)
+
+
+def make_noise(spec) -> Optional[NoiseModel]:
+    """Validate a trial's noise spec (dict/None) into a NoiseModel."""
+    return NoiseModel.from_spec(spec)
 
 
 def _build_reference() -> Workload:

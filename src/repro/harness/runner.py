@@ -11,7 +11,16 @@ Trial kinds and their parameters (all optional unless noted):
 
 ``attack``
     ``variant`` (required), ``runahead`` + ``runahead_kwargs``,
-    ``config_base``/``config``, ``secret_value``, ``nop_padding``.
+    ``config_base``/``config``, ``secret_value``, ``nop_padding``;
+    optionally ``receiver``/``noise``/``trials``/``seed`` to measure
+    through a :mod:`repro.channel` receiver instead of the in-program
+    probe.
+``extract``
+    ``secret`` (required: string or list of byte values), ``variant``,
+    ``receiver``, ``noise``, ``trials``, ``runahead`` +
+    ``runahead_kwargs``, ``config_base``/``config``, ``seed`` — the
+    multi-byte covert-channel extraction of
+    :func:`repro.channel.extract.extract_secret`.
 ``ipc``
     ``workload`` (required), ``baseline`` (default no-runahead),
     ``contender`` (default original) + ``contender_kwargs``,
@@ -33,6 +42,7 @@ from typing import Any, Dict
 
 from ..attack.specrun import SpecRunAttack
 from ..attack.window import measure_window
+from ..channel.extract import extract_secret
 from ..defense.taint_demo import run_fig12
 from .registry import get_workload, make_config, make_controller
 from .spec import Trial
@@ -60,9 +70,14 @@ def _run_attack(trial: Trial) -> Dict[str, Any]:
         if key in params:
             gadget_kwargs[key] = params[key]
     attack = SpecRunAttack(variant=params["variant"], runahead=controller,
-                           config=_config_from(params), **gadget_kwargs)
+                           config=_config_from(params),
+                           receiver=params.get("receiver"),
+                           noise=params.get("noise"),
+                           trials=params.get("trials", 1),
+                           seed=params.get("seed", trial.seed),
+                           **gadget_kwargs)
     result = attack.run(max_cycles=params.get("max_cycles", 3_000_000))
-    return {
+    record = {
         "variant": params["variant"],
         "runahead": result.runahead_name,
         "secret": attack.attack.secret_value,
@@ -72,6 +87,30 @@ def _run_attack(trial: Trial) -> Dict[str, Any]:
         "latencies": list(result.latencies),
         "stats": _stats_dict(result.stats),
     }
+    if result.channel is not None:
+        record["channel"] = result.channel.to_dict()
+    return record
+
+
+def _run_extract(trial: Trial) -> Dict[str, Any]:
+    params = trial.params
+    make_runahead = (lambda: make_controller(
+        params.get("runahead", "original"),
+        **params.get("runahead_kwargs", {})))
+    gadget_kwargs = {key: params[key] for key in ("nop_padding",)
+                     if key in params}
+    result = extract_secret(
+        params["secret"],
+        variant=params.get("variant", "pht"),
+        receiver=params.get("receiver", "flush-reload"),
+        noise=params.get("noise"),
+        trials=params.get("trials", 1),
+        runahead=make_runahead,
+        config=_config_from(params),
+        seed=params.get("seed", trial.seed),
+        max_cycles=params.get("max_cycles", 3_000_000),
+        **gadget_kwargs)
+    return result.to_dict()
 
 
 def _run_ipc(trial: Trial) -> Dict[str, Any]:
@@ -147,6 +186,7 @@ _RUNNERS = {
     "window": _run_window,
     "run": _run_workload,
     "taint": _run_taint,
+    "extract": _run_extract,
 }
 
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 #: Trial kinds understood by :mod:`repro.harness.runner`.
-TRIAL_KINDS = ("attack", "ipc", "window", "run", "taint")
+TRIAL_KINDS = ("attack", "ipc", "window", "run", "taint", "extract")
 
 
 def canonical_json(value: Any) -> str:

@@ -74,6 +74,17 @@ class HierarchyConfig:
     def line_bytes(self):
         return self.l1d.line_bytes
 
+    @property
+    def data_hit_latency(self):
+        """Latency of an L1D hit (the fastest possible data access)."""
+        return self.l1d.latency
+
+    @property
+    def data_miss_latency(self):
+        """Nominal latency of a full walk to main memory (no contention)."""
+        return (self.l1d.latency + self.l2.latency + self.l3.latency +
+                self.mem_latency)
+
 
 @dataclass(slots=True)
 class AccessResult:
@@ -302,6 +313,39 @@ class MemoryHierarchy:
             self.l1d.fill(line)
             self.l1i.fill(line)
             line += line_bytes
+
+    def probe_latency(self, addr, now):
+        """Latency a data access at ``now`` *would* see — read-only.
+
+        The covert-channel receivers (:mod:`repro.channel.receiver`) time
+        their probes with this instead of :meth:`access_data`: it walks
+        the same levels and charges the same cumulative latencies, but
+        performs no fills, no LRU updates and no statistics, so a
+        multi-trial receiver can re-measure the post-run hierarchy
+        without the measurement perturbing what it measures.  (Pending
+        fills that have completed by ``now`` are installed first, exactly
+        as any access at ``now`` would observe them.)
+
+        Returns ``(latency, level)`` with ``level`` a ``LEVEL_*``
+        constant.  A still-in-flight line costs the remaining wait, as in
+        the MSHR-merge path of :meth:`access_data`; a full miss costs the
+        nominal (contention-free) memory walk.
+        """
+        self.apply_completed(now)
+        line = self.line_of(addr)
+        pending = self._pending.get(line)
+        if pending is not None and not pending.dropped:
+            return max(1, pending.completion - now), LEVEL_PENDING
+        latency = self.config.l1d.latency
+        if self.l1d.probe(line):
+            return latency, LEVEL_L1
+        latency += self.config.l2.latency
+        if self.l2.probe(line):
+            return latency, LEVEL_L2
+        latency += self.config.l3.latency
+        if self.l3.probe(line):
+            return latency, LEVEL_L3
+        return latency + self.config.mem_latency, LEVEL_MEM
 
     def present_in(self, addr, level):
         """Presence probe for tests/analysis (no side effects)."""

@@ -49,6 +49,48 @@ class TestThresholds:
         assert hits == [index]
 
 
+class TestThresholdEdgeCases:
+    """Pin the exact behaviour of largest_gap_threshold at its edges."""
+
+    def test_all_equal_latencies(self):
+        assert largest_gap_threshold([7, 7, 7, 7]) is None
+        assert largest_gap_threshold([0, 0]) is None
+
+    def test_two_point_input_splits_midway(self):
+        # Low "cluster" is a single point (spread 0) so the guard
+        # compares against max(spread, 1): any gap >= 2 splits.
+        threshold = largest_gap_threshold([10, 250])
+        assert threshold == 10 + (250 - 10) // 2
+        hits, _ = classify_hits([10, 250])
+        assert hits == [0]
+
+    def test_two_point_minimal_gap_rejected(self):
+        # Gap of 1 < 2 * max(spread=0, 1): unimodal by the guard.
+        assert largest_gap_threshold([10, 11]) is None
+        assert largest_gap_threshold([10, 12]) == 11
+
+    def test_noise_guard_rejects_wide_low_cluster(self):
+        # Largest gap 15 at the top, but the low cluster spans 10:
+        # 15 < 2 * 10, so no split (slow drift is not bimodality).
+        assert largest_gap_threshold([0, 5, 10, 25]) is None
+        # Double the gap and it clears the guard.
+        assert largest_gap_threshold([0, 5, 10, 31]) is not None
+
+    def test_tie_in_gap_size_first_gap_wins(self):
+        # Gaps of 10 between (0,10) and (10,20): the first strict
+        # maximum is kept, so the split lands below 10 and only the
+        # lowest value classifies as a hit.
+        threshold = largest_gap_threshold([0, 10, 20])
+        assert threshold == 5
+        hits, _ = classify_hits([20, 0, 10])
+        assert hits == [1]
+
+    def test_unsorted_input_equivalent(self):
+        latencies = [250] * 10 + [12]
+        assert largest_gap_threshold(latencies) == \
+            largest_gap_threshold(sorted(latencies))
+
+
 class TestLeakReport:
     def test_single_dip_recovered(self):
         latencies = [260] * 256
@@ -70,6 +112,53 @@ class TestLeakReport:
         latencies[99] = 8
         report = analyze_probe(latencies, ignore_indices=(0,))
         assert report.recovered == 99
+
+    def test_multiple_hits_never_recover(self):
+        latencies = [260] * 256
+        latencies[10] = 8
+        latencies[20] = 8
+        report = analyze_probe(latencies)
+        assert report.hits == [10, 20]
+        assert report.recovered is None
+
+
+class TestExpectedHitsSemantics:
+    """expected_hits reports, it never changes recovery (explicit since
+    the PR that removed the silent fallback override)."""
+
+    def test_single_hit_recovers_regardless_of_expected(self):
+        latencies = [260] * 64
+        latencies[5] = 8
+        for expected in (0, 1, 2, 7):
+            report = analyze_probe(latencies, expected_hits=expected)
+            assert report.recovered == 5
+            assert report.expected_hits == expected
+        assert analyze_probe(latencies, expected_hits=1).hits_as_expected
+        assert not analyze_probe(latencies,
+                                 expected_hits=2).hits_as_expected
+
+    def test_two_hits_match_expected_two_but_stay_unrecovered(self):
+        latencies = [260] * 64
+        latencies[5] = 8
+        latencies[9] = 8
+        report = analyze_probe(latencies, expected_hits=2)
+        assert report.hits_as_expected
+        assert report.recovered is None          # ambiguous by design
+
+    def test_no_hits_matches_expected_zero(self):
+        report = analyze_probe([260] * 64, expected_hits=0)
+        assert report.hits_as_expected
+        assert report.recovered is None
+
+    def test_exclusions_feed_the_expected_count(self):
+        latencies = [260] * 64
+        latencies[0] = 8
+        latencies[5] = 8
+        report = analyze_probe(latencies, expected_hits=1,
+                               ignore_indices=(0,))
+        assert report.hits == [5]
+        assert report.hits_as_expected
+        assert report.recovered == 5
 
 
 class TestReportRendering:

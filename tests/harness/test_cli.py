@@ -83,6 +83,50 @@ class TestRunCommand:
         assert record["result"]["halted"] is True
 
 
+class TestAttackCommand:
+    def test_extraction_end_to_end(self, capsys, cache_dir):
+        assert main(["attack", "--secret", "A", "--trials", "1",
+                     "--no-noise", "--min-success", "1",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered      : 'A'" in out
+        assert "success rate   : 1.00" in out
+        assert "bits/s" in out
+        # Second invocation is a cache hit with identical results.
+        assert main(["attack", "--secret", "A", "--trials", "1",
+                     "--no-noise", "--min-success", "1",
+                     "--cache-dir", cache_dir]) == 0
+        assert "[cached]" in capsys.readouterr().out
+
+    def test_json_output(self, capsys, cache_dir):
+        assert main(["attack", "--secret", "A", "--trials", "1",
+                     "--no-noise", "--json",
+                     "--cache-dir", cache_dir]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["trial"]["kind"] == "extract"
+        assert record["result"]["recovered"] == [65]
+
+    def test_min_success_gates_exit_code(self, capsys, cache_dir):
+        # A byte this channel cannot carry: evict+reload must ignore
+        # the training-warmed probe entry (index 8), so a secret byte
+        # of 8 never decodes — the --min-success gate must exit 1.
+        assert main(["attack", "--secret", "\x08",
+                     "--receiver", "evict-reload", "--trials", "1",
+                     "--no-noise", "--min-success", "1",
+                     "--cache-dir", cache_dir]) == 1
+        captured = capsys.readouterr()
+        assert "success rate   : 0.00" in captured.out
+        assert "below --min-success" in captured.err
+
+    def test_beyond_rob_channel_is_silent_without_runahead(self, capsys):
+        # No-runahead machine with a beyond-ROB gadget never transmits.
+        assert main(["run", "extract", "secret=[65]", "trials=1",
+                     "runahead=none", "nop_padding=300",
+                     "--no-cache"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["result"]["success_rate"] == 0.0
+
+
 class TestReportCommand:
     def test_report_from_saved_json(self, capsys, tmp_path, cache_dir):
         out_file = tmp_path / "fig12.json"

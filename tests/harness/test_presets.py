@@ -6,7 +6,8 @@ import pytest
 
 from repro.harness import presets
 from repro.harness.registry import (CONTROLLERS, get_workload, make_config,
-                                    make_controller)
+                                    make_controller, make_noise,
+                                    resolve_receiver)
 
 ALL = sorted(presets.PRESETS)
 
@@ -27,8 +28,23 @@ def test_quick_tier_is_no_bigger(name):
 
 def test_expected_presets_exist():
     for name in ("table1", "fig4", "fig7", "fig9", "fig10", "fig11",
-                 "fig12", "sec43", "sec6", "ablations"):
+                 "fig12", "sec43", "sec6", "ablations",
+                 "fig9_noise_sweep", "channel_bandwidth"):
         assert name in presets.PRESETS
+
+
+def test_channel_presets_share_noise_seed():
+    """Every fig9_noise_sweep trials point must reuse one seed, so a
+    larger trial count extends (not re-rolls) the noise stream and the
+    success-rate curve is monotone by construction."""
+    sweep = presets.get("fig9_noise_sweep").build()
+    seeds = {t.params["seed"] for t in sweep}
+    assert len(seeds) == 1
+    trials = [t.params["trials"] for t in sweep]
+    assert trials == sorted(trials)
+    for trial in sweep:
+        assert resolve_receiver(trial.params["receiver"]) is not None
+        assert make_noise(trial.params["noise"]).is_noisy
 
 
 def test_preset_trials_resolve_through_registry():
@@ -44,6 +60,8 @@ def test_preset_trials_resolve_through_registry():
                     make_controller(trial.params[key])
             if "workload" in trial.params:
                 get_workload(trial.params["workload"])
+            resolve_receiver(trial.params.get("receiver"))
+            make_noise(trial.params.get("noise"))
             make_config(trial.params.get("config_base", "paper"),
                         trial.params.get("config"))
 
