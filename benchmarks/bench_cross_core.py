@@ -1,0 +1,105 @@
+"""Cross-core covert channels: defense matrix, capacity, co-runners.
+
+Three sweeps from the :mod:`repro.multicore` scenario family:
+
+* ``fig10_cross_core`` — the transmitter gadget on core 0 leaks to a
+  receiver probing the shared inclusive L3 from core 1; the baseline
+  machine must recover the secret cross-core (success rate >= 0.9 under
+  mild noise) while the ``secure`` and ``branch-skip`` defenses decode
+  *nothing* — the negative sweep the ROADMAP pins.
+* ``cross_core_bandwidth`` — same-core vs cross-core channel capacity
+  per receiver strategy (cross-core reload hits land at LLC latency, so
+  the timing margin shrinks but every strategy keeps working).
+* ``smt_corunner_sweep`` — PR 3's overlay ``NoiseModel`` co-runner
+  versus *real* interfering instruction streams (SMT thread sharing the
+  victim's L1/L2, or a dedicated core sharing only the L3), measuring
+  how structured real interference compares to the i.i.d. overlay.
+"""
+
+from repro.harness import presets
+
+from _common import emit, footer, run_preset
+
+CROSS_PRESET = presets.get("fig10_cross_core")
+BW_PRESET = presets.get("cross_core_bandwidth")
+SMT_PRESET = presets.get("smt_corunner_sweep")
+
+
+def test_fig10_cross_core(benchmark, sweep_opts):
+    result = run_preset(CROSS_PRESET, benchmark, sweep_opts)
+
+    by_machine = {}
+    for record in result.select("extract"):
+        res = record["result"]
+        by_machine.setdefault(record["params"]["runahead"],
+                              []).append(res)
+    # Every trial ran a 2-core topology.
+    for records in by_machine.values():
+        for res in records:
+            assert res["topology"]["cores"] == 2
+    # The baseline machine leaks cross-core under mild noise.
+    for res in by_machine["original"]:
+        assert res["success_rate"] >= 0.9, (res["receiver"],
+                                            res["recovered"])
+    # The defenses close the channel for every receiver.
+    for machine in ("secure", "branch-skip"):
+        for res in by_machine[machine]:
+            assert res["success_rate"] == 0.0, (machine, res["receiver"],
+                                                res["recovered"])
+
+    emit("fig10_cross_core", CROSS_PRESET.render(result) + footer(result))
+
+
+def test_cross_core_bandwidth(benchmark, sweep_opts):
+    result = run_preset(BW_PRESET, benchmark, sweep_opts)
+
+    pairs = {}
+    for record in result.select("extract"):
+        res = record["result"]
+        cores = record["params"].get("cores", 1)
+        pairs.setdefault(res["receiver"], {})[cores] = res
+    assert set(pairs) == set(presets.CHANNEL_RECEIVERS)
+    for receiver, by_cores in pairs.items():
+        same, cross = by_cores[1], by_cores[2]
+        # The channel survives the move to another core...
+        assert cross["success_rate"] >= 0.5, (receiver,
+                                              cross["recovered"])
+        assert cross["bandwidth_bits_per_s"] > 0
+        # ...and same-core capacity is never *worse* than cross-core
+        # for reload channels (cross-core pays LLC-latency probes).
+        if receiver != "prime-probe":
+            assert same["bits_per_kcycle"] >= \
+                0.9 * cross["bits_per_kcycle"], receiver
+
+    emit("cross_core_bandwidth", BW_PRESET.render(result) + footer(result))
+
+
+def test_smt_corunner_sweep(benchmark, sweep_opts):
+    result = run_preset(SMT_PRESET, benchmark, sweep_opts)
+
+    records = result.select("extract")
+    # Overlay and real co-runner rows both exist for each receiver.
+    overlay = [r for r in records if r["params"].get("noise")
+               and r["params"].get("corunner") is None]
+    real = [r for r in records if r["params"].get("corunner")]
+    assert overlay and real
+    # A real co-runner stream perturbs the victim run itself: its
+    # cycles exceed the clean cross-core run's for the same receiver.
+    clean = {r["result"]["receiver"]: r["result"] for r in records
+             if not r["params"].get("noise")
+             and r["params"].get("corunner") is None}
+    for record in real:
+        res = record["result"]
+        assert res["total_cycles"] > 0
+        assert res["topology"]["corunner"] == record["params"]["corunner"]
+    # Reload channels survive every co-runner (a co-runner in its own
+    # physical window cannot fake a reload hit on victim lines).
+    for record in real:
+        res = record["result"]
+        if res["receiver"] == "flush-reload":
+            assert res["success_rate"] == 1.0, record["params"]
+    # The clean cross-core channel decodes perfectly for all receivers.
+    for res in clean.values():
+        assert res["success_rate"] == 1.0
+
+    emit("smt_corunner_sweep", SMT_PRESET.render(result) + footer(result))

@@ -14,6 +14,9 @@ Subcommands
     strategy, noise intensity and trial count, and read a multi-byte
     secret out of the simulated machine (``--secret``, ``--receiver``,
     ``--trials``, ``--jitter``/``--evict-rate``/``--pollute-rate``).
+    ``--cores N`` moves the receiver to another core of a shared-L3
+    multi-core topology; ``--corunner <workload>`` (with ``--cores 3``
+    or ``--smt``) runs a real interfering instruction stream.
 ``repro report <file.json | preset>``
     Render a previously saved sweep result, or re-render a preset from
     the cache without recomputing anything that is already stored.
@@ -141,6 +144,25 @@ def _cmd_attack(args) -> int:
     }
     if noise:
         params["noise"] = noise
+    # Topology keys enter the trial spec only when non-default, so
+    # single-core invocations keep their historical cache identity.
+    topology: Dict[str, Any] = {}
+    if args.cores != 1:
+        topology["cores"] = args.cores
+    if args.corunner:
+        topology["corunner"] = args.corunner
+    if args.smt:
+        topology["smt"] = True
+    if args.corunner_runahead != "none":
+        topology["corunner_runahead"] = args.corunner_runahead
+    if topology:
+        from .multicore.scenario import Topology
+        try:
+            Topology.from_params(dict(topology, cores=args.cores))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        params.update(topology)
     trial = Trial(kind="extract", params=params)
     cache = resolve_cache(_cache_arg(args))
     result: Optional[Dict[str, Any]] = None
@@ -172,6 +194,13 @@ def _cmd_attack(args) -> int:
             ["byte", "planted", "recovered", "", "confidence",
              "trials-to-recover"], rows))
         print()
+        if result.get("topology"):
+            topo = result["topology"]
+            placement = f"{topo['cores']} core(s)"
+            if topo.get("corunner"):
+                placement += (f", {'SMT' if topo.get('smt') else 'cross-core'}"
+                              f" co-runner: {topo['corunner']}")
+            print(f"topology       : {placement}")
         print(f"recovered      : {recovered!r}")
         print(f"success rate   : {result['success_rate']:.2f} "
               f"({result['bits_recovered']}/{result['bits_attempted']} "
@@ -322,6 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="co-runner eviction probability per line")
     p_attack.add_argument("--pollute-rate", type=float, default=0.04,
                           help="prefetch-pollution probability per line")
+    p_attack.add_argument("--cores", type=int, default=1,
+                          help="core count: with >= 2 the receiver "
+                               "probes the shared L3 from another core "
+                               "(default 1: same-core measurement)")
+    p_attack.add_argument("--corunner", default=None,
+                          help="workload name run as a real interfering "
+                               "instruction stream (needs --cores 3, or "
+                               "--smt to share the victim's core)")
+    p_attack.add_argument("--smt", action="store_true",
+                          help="run the co-runner as an SMT thread of "
+                               "the victim's core (shared L1/L2)")
+    p_attack.add_argument("--corunner-runahead", default="none",
+                          help="runahead controller for co-runner cores "
+                               "(default: none)")
     p_attack.add_argument("--no-noise", action="store_true",
                           help="disable all measurement noise")
     p_attack.add_argument("--seed", type=int, default=7,

@@ -94,6 +94,11 @@ class SpecRunAttack:
         Measurement trials decoded together (receiver path only).
     seed:
         Base seed for the per-trial noise streams.
+    cores / corunner / smt / corunner_runahead:
+        Multi-core placement (see :class:`~repro.multicore.scenario.
+        Topology`): ``cores >= 2`` measures cross-core through the
+        shared L3, ``corunner`` runs a real interfering workload
+        stream.  Receiver path only; the defaults are single-core.
     gadget_kwargs:
         Forwarded to the gadget builder (``secret_value``,
         ``nop_padding``, ...).
@@ -102,7 +107,11 @@ class SpecRunAttack:
     def __init__(self, variant="pht", runahead: Optional[
             RunaheadController] = None, config: Optional[CoreConfig] = None,
             receiver: Optional[str] = None, noise=None, trials: int = 1,
-            seed: int = 0, **gadget_kwargs):
+            seed: int = 0, cores: int = 1, corunner: Optional[str] = None,
+            smt: bool = False, corunner_runahead: str = "none",
+            **gadget_kwargs):
+        from ..multicore.scenario import Topology
+
         self.variant = variant
         self.config = config or CoreConfig.paper()
         self.runahead = runahead if runahead is not None \
@@ -111,6 +120,12 @@ class SpecRunAttack:
         self.noise = noise
         self.trials = trials
         self.seed = seed
+        self.topology = Topology.from_params(
+            {"cores": cores, "corunner": corunner, "smt": smt,
+             "corunner_runahead": corunner_runahead})
+        if self.topology is not None and receiver is None:
+            raise ValueError("multi-core topologies measure through a "
+                             "channel receiver; pass receiver=...")
         self._calibration_attack = None
         self._calibration_runahead = None
         if receiver is not None:
@@ -157,7 +172,8 @@ class SpecRunAttack:
             noise=self.noise, trials=self.trials, seed=self.seed,
             max_cycles=max_cycles,
             calibration_attack=self._calibration_attack,
-            calibration_runahead=calibration_runahead)
+            calibration_runahead=calibration_runahead,
+            topology=self.topology)
         return AttackResult(attack=self.attack, report=outcome.report,
                             stats=outcome.stats,
                             runahead_name=self.runahead.name,

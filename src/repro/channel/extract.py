@@ -112,6 +112,9 @@ class ExtractionResult:
     total_cycles: int                  # attack + calibration cycles
     calibration_cycles: int
     clock_hz: int = DEFAULT_CLOCK_HZ
+    #: Core/co-runner placement (see :class:`repro.multicore.scenario.
+    #: Topology`); None on the single-core path.
+    topology: Optional[dict] = None
 
     @property
     def success_rate(self) -> float:
@@ -154,7 +157,7 @@ class ExtractionResult:
                 f"{self.clock_hz / 1e9:.1f} GHz)")
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "secret": list(self.secret),
             "recovered": list(self.recovered),
             "receiver": self.receiver,
@@ -172,6 +175,9 @@ class ExtractionResult:
             "trials_to_recover": [b.trials_to_recover for b in self.bytes_],
             "cycles_per_byte": [b.cycles for b in self.bytes_],
         }
+        if self.topology is not None:
+            payload["topology"] = self.topology
+        return payload
 
 
 def _trials_to_recover(decode: ChannelDecode) -> Optional[int]:
@@ -194,6 +200,8 @@ def extract_secret(secret: Union[bytes, str, Sequence[int]],
                    seed: int = 0,
                    max_cycles: int = DEFAULT_MAX_CYCLES,
                    clock_hz: int = DEFAULT_CLOCK_HZ,
+                   cores: int = 1, corunner: Optional[str] = None,
+                   smt: bool = False, corunner_runahead: str = "none",
                    **gadget_kwargs) -> ExtractionResult:
     """Extract a secret buffer through a noisy covert-channel receiver.
 
@@ -201,14 +209,26 @@ def extract_secret(secret: Union[bytes, str, Sequence[int]],
     planted and simulated once; ``trials`` receiver measurements (with
     per-trial noise) are decoded together.  A prime+probe receiver first
     runs one benign-trigger calibration pass, shared by every byte.
+
+    ``cores``/``corunner``/``smt``/``corunner_runahead`` describe a
+    multi-core placement (:class:`~repro.multicore.scenario.Topology`):
+    with ``cores >= 2`` the receiver measures from another core through
+    the shared L3, and a ``corunner`` workload runs as a real
+    interfering instruction stream (on dedicated cores, or as an SMT
+    thread of the victim's core with ``smt=True``).  The defaults are
+    exactly the PR 3 single-core path.
     """
     from ..attack.gadgets import build_attack
+    from ..multicore.scenario import Topology, calibrate_topology_receiver
 
     values = _as_values(secret)
     model = NoiseModel.from_spec(noise)
     cls = receiver_class(receiver)
     make_runahead = _runahead_factory(runahead)
     config = config or CoreConfig.paper()
+    topology = Topology.from_params(
+        {"cores": cores, "corunner": corunner, "smt": smt,
+         "corunner_runahead": corunner_runahead})
     build_kwargs = dict(gadget_kwargs)
     build_kwargs.setdefault("external_probe", True)
     build_kwargs.setdefault("flush_probe_array", cls.uses_clflush)
@@ -218,8 +238,14 @@ def extract_secret(secret: Union[bytes, str, Sequence[int]],
     if cls.needs_calibration:
         benign = build_attack(variant, secret_value=values[0],
                               trigger_index=1, **build_kwargs)
-        calibration_ignore, calibration_cycles = calibrate_receiver(
-            benign, make_runahead(), config, receiver, max_cycles)
+        if topology is not None:
+            calibration_ignore, calibration_cycles = \
+                calibrate_topology_receiver(benign, make_runahead(),
+                                            config, receiver, topology,
+                                            max_cycles)
+        else:
+            calibration_ignore, calibration_cycles = calibrate_receiver(
+                benign, make_runahead(), config, receiver, max_cycles)
 
     results: List[ByteResult] = []
     total_cycles = calibration_cycles
@@ -229,7 +255,8 @@ def extract_secret(secret: Union[bytes, str, Sequence[int]],
             attack, make_runahead(), config, receiver,
             noise=model, trials=trials,
             seed=derive_seed("extract", seed, index),
-            max_cycles=max_cycles, extra_ignore=calibration_ignore)
+            max_cycles=max_cycles, extra_ignore=calibration_ignore,
+            topology=topology)
         byte_cycles = outcome.cycles + outcome.measure_cycles
         total_cycles += byte_cycles
         results.append(ByteResult(
@@ -243,4 +270,5 @@ def extract_secret(secret: Union[bytes, str, Sequence[int]],
         bytes_=results, receiver=receiver, trials=trials,
         noise=model.to_spec() if model is not None else None,
         total_cycles=total_cycles, calibration_cycles=calibration_cycles,
-        clock_hz=clock_hz)
+        clock_hz=clock_hz,
+        topology=topology.to_spec() if topology is not None else None)

@@ -155,6 +155,18 @@ class Receiver:
                            signal_low=self.signal_low, trial=trial,
                            receiver=self.name)
 
+    def cross_core(self) -> "Receiver":
+        """Rebase the channel's fast reference to the shared LLC.
+
+        A receiver measuring from *another core's* view never holds the
+        victim's lines in its own L1/L2, so the fastest a victim fill
+        can appear is an L3 hit — and prefetcher "pollution" likewise
+        lands in the shared LLC, not the attacker's L1.  Idempotent for
+        prime+probe, whose reference is the LLC walk already.
+        """
+        self.hit_latency = self.hierarchy.config.llc_hit_latency
+        return self
+
     # -- helpers ----------------------------------------------------------------
 
     def _line_latency(self, line: int, now: int, draw: NoiseDraw) -> int:
@@ -254,9 +266,7 @@ class PrimeProbeReceiver(Receiver):
             for i in range(layout.entries)]
         # A primed line re-probed after the victim ran sits in L3 (we
         # prime L3 only, so the L1/L2 walk misses first).
-        self.hit_latency = (hierarchy.config.l1d.latency +
-                            hierarchy.config.l2.latency +
-                            hierarchy.config.l3.latency)
+        self.hit_latency = hierarchy.config.llc_hit_latency
 
     def noise_lines(self) -> List[int]:
         return [line for ev_set in self._sets for line in ev_set]

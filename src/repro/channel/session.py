@@ -50,6 +50,9 @@ class ChannelOutcome:
     #: loop).  Charged to the channel-bandwidth denominator.
     measure_cycles: int = 0
     calibration_cycles: int = 0
+    #: Core/co-runner placement spec (:meth:`repro.multicore.scenario.
+    #: Topology.to_spec`); None on the single-core path.
+    topology: Optional[dict] = None
 
     @property
     def recovered(self) -> Optional[int]:
@@ -64,7 +67,7 @@ class ChannelOutcome:
         return self.decode.report
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "receiver": self.receiver,
             "trials": self.trials,
             "noise": self.noise,
@@ -76,6 +79,52 @@ class ChannelOutcome:
             "measure_cycles": self.measure_cycles,
             "calibration_cycles": self.calibration_cycles,
         }
+        if self.topology is not None:
+            payload["topology"] = self.topology
+        return payload
+
+
+def channel_ignore_set(receiver_cls, attack, extra_ignore=()) -> set:
+    """Probe indices excluded from decoding for this receiver/attack.
+
+    Validates the attack is an external-probe build and, for receivers
+    without a working ``clflush``, excludes the entries the attacker's
+    own training phase warmed.  Shared by the single-core and the
+    multi-core (:mod:`repro.multicore.scenario`) paths.
+    """
+    if not attack.external_probe:
+        raise ValueError(
+            "channel receivers need an external-probe attack program "
+            "(build with external_probe=True)")
+    ignore = set(extra_ignore)
+    if not receiver_cls.uses_clflush:
+        # No in-program flush between training and trigger: entries the
+        # attacker's own training warmed stay hot and must not decode.
+        ignore.update(attack.warmed_probe_indices)
+    return ignore
+
+
+def measure_and_decode(receiver, now, model, trials, seed, ignore):
+    """Measure ``trials`` noisy probe vectors and decode them together.
+
+    Per-trial noise streams derive from ``derive_seed("channel", seed,
+    trial)`` — the seeding contract both the single-core and multi-core
+    paths must share for their results to stay comparable.  Returns
+    ``(vectors, decode, measure_cycles)``.
+    """
+    lines = receiver.noise_lines()
+    n_indices = receiver.layout.entries
+    vectors = []
+    for trial in range(trials):
+        if model is not None:
+            rng = SplitMix64(derive_seed("channel", seed, trial))
+            draw = model.draw(rng, lines, n_indices)
+        else:
+            draw = NO_NOISE
+        vectors.append(receiver.measure(now, draw, trial=trial))
+    decoded = decode_trials(vectors, ignore_indices=ignore)
+    measure_cycles = sum(sum(v.latencies) for v in vectors)
+    return vectors, decoded, measure_cycles
 
 
 def _run_core(attack, runahead, config, max_cycles,
@@ -123,7 +172,8 @@ def run_channel_attack(attack, runahead, config: Optional[CoreConfig],
                        max_cycles: int = DEFAULT_MAX_CYCLES,
                        extra_ignore: Iterable[int] = (),
                        calibration_attack=None,
-                       calibration_runahead=None) -> ChannelOutcome:
+                       calibration_runahead=None,
+                       topology=None) -> ChannelOutcome:
     """Run one external-probe attack and decode it through a receiver.
 
     Parameters mirror :class:`~repro.attack.specrun.SpecRunAttack` plus:
@@ -146,22 +196,29 @@ def run_channel_attack(attack, runahead, config: Optional[CoreConfig],
         Benign-trigger program (and a fresh controller for it) used when
         the receiver needs calibration and no ``extra_ignore`` baseline
         was supplied.
+    topology:
+        Optional :class:`~repro.multicore.scenario.Topology` (or its
+        spec dict).  A multi-core arrangement routes the run through
+        :func:`repro.multicore.scenario.run_topology_attack` — victim,
+        attacker and co-runners on separate views of a shared L3;
+        ``None``/single-core keeps this exact (byte-identical) path.
     """
+    from ..multicore.scenario import Topology
+    topology = Topology.from_params(topology)
+    if topology is not None:
+        from ..multicore.scenario import run_topology_attack
+        return run_topology_attack(
+            attack, runahead, config, receiver, topology, noise=noise,
+            trials=trials, seed=seed, max_cycles=max_cycles,
+            extra_ignore=extra_ignore,
+            calibration_attack=calibration_attack,
+            calibration_runahead=calibration_runahead)
     if trials < 1:
         raise ValueError("trials must be >= 1")
     config = config or CoreConfig.paper()
     model = NoiseModel.from_spec(noise)
     cls = receiver_class(receiver)
-    if not attack.external_probe:
-        raise ValueError(
-            "channel receivers need an external-probe attack program "
-            "(build with external_probe=True)")
-
-    ignore = set(extra_ignore)
-    if not cls.uses_clflush:
-        # No in-program flush between training and trigger: entries the
-        # attacker's own training warmed stay hot and must not decode.
-        ignore.update(attack.warmed_probe_indices)
+    ignore = channel_ignore_set(cls, attack, extra_ignore)
     calibration_cycles = 0
     if cls.needs_calibration and calibration_attack is not None:
         baseline, calibration_cycles = calibrate_receiver(
@@ -170,19 +227,8 @@ def run_channel_attack(attack, runahead, config: Optional[CoreConfig],
         ignore.update(baseline)
 
     core, live = _run_core(attack, runahead, config, max_cycles, receiver)
-    now = core.cycle
-    lines = live.noise_lines()
-    n_indices = live.layout.entries
-    vectors = []
-    for trial in range(trials):
-        if model is not None:
-            rng = SplitMix64(derive_seed("channel", seed, trial))
-            draw = model.draw(rng, lines, n_indices)
-        else:
-            draw = NO_NOISE
-        vectors.append(live.measure(now, draw, trial=trial))
-    decoded = decode_trials(vectors, ignore_indices=ignore)
-    measure_cycles = sum(sum(v.latencies) for v in vectors)
+    _, decoded, measure_cycles = measure_and_decode(
+        live, core.cycle, model, trials, seed, ignore)
     return ChannelOutcome(
         receiver=receiver, trials=trials,
         noise=model.to_spec() if model is not None else None,

@@ -14,12 +14,15 @@ Trial kinds and their parameters (all optional unless noted):
     ``config_base``/``config``, ``secret_value``, ``nop_padding``;
     optionally ``receiver``/``noise``/``trials``/``seed`` to measure
     through a :mod:`repro.channel` receiver instead of the in-program
-    probe.
+    probe, and ``cores``/``corunner``/``smt``/``corunner_runahead`` to
+    place victim, attacker and co-runners on a shared-L3 multi-core
+    topology (:class:`repro.multicore.scenario.Topology`).
 ``extract``
     ``secret`` (required: string or list of byte values), ``variant``,
     ``receiver``, ``noise``, ``trials``, ``runahead`` +
-    ``runahead_kwargs``, ``config_base``/``config``, ``seed`` — the
-    multi-byte covert-channel extraction of
+    ``runahead_kwargs``, ``config_base``/``config``, ``seed``, plus the
+    same ``cores``/``corunner``/``smt``/``corunner_runahead`` topology
+    params — the multi-byte covert-channel extraction of
     :func:`repro.channel.extract.extract_secret`.
 ``ipc``
     ``workload`` (required), ``baseline`` (default no-runahead),
@@ -52,6 +55,10 @@ class TrialError(RuntimeError):
     """A trial failed; carries the trial label for diagnostics."""
 
 
+#: Multi-core placement params shared by the attack and extract kinds.
+_TOPOLOGY_KEYS = ("cores", "corunner", "smt", "corunner_runahead")
+
+
 def _stats_dict(stats) -> Dict[str, Any]:
     return dataclasses.asdict(stats)
 
@@ -67,6 +74,9 @@ def _run_attack(trial: Trial) -> Dict[str, Any]:
                                  **params.get("runahead_kwargs", {}))
     gadget_kwargs = {}
     for key in ("secret_value", "nop_padding"):
+        if key in params:
+            gadget_kwargs[key] = params[key]
+    for key in _TOPOLOGY_KEYS:
         if key in params:
             gadget_kwargs[key] = params[key]
     attack = SpecRunAttack(variant=params["variant"], runahead=controller,
@@ -99,6 +109,8 @@ def _run_extract(trial: Trial) -> Dict[str, Any]:
         **params.get("runahead_kwargs", {})))
     gadget_kwargs = {key: params[key] for key in ("nop_padding",)
                      if key in params}
+    topology_kwargs = {key: params[key] for key in _TOPOLOGY_KEYS
+                       if key in params}
     result = extract_secret(
         params["secret"],
         variant=params.get("variant", "pht"),
@@ -109,7 +121,7 @@ def _run_extract(trial: Trial) -> Dict[str, Any]:
         config=_config_from(params),
         seed=params.get("seed", trial.seed),
         max_cycles=params.get("max_cycles", 3_000_000),
-        **gadget_kwargs)
+        **topology_kwargs, **gadget_kwargs)
     return result.to_dict()
 
 

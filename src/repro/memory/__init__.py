@@ -2,8 +2,9 @@
 
 from .cache import CacheConfig, CacheStats, SetAssociativeCache
 from .hierarchy import (LEVEL_L1, LEVEL_L2, LEVEL_L3, LEVEL_MEM,
-                        LEVEL_PENDING, AccessResult, HierarchyConfig,
-                        HierarchyStats, MemoryHierarchy)
+                        LEVEL_PENDING, PHYS_WINDOW_STRIDE, AccessResult,
+                        CoreView, HierarchyConfig, HierarchyStats,
+                        MemoryHierarchy, SharedHierarchy)
 from .main_memory import ChannelStats, MainMemory, MemoryChannel
 from .replacement import (FifoPolicy, LruPolicy, RandomPolicy,
                           ReplacementPolicy, make_policy)
@@ -11,7 +12,8 @@ from .replacement import (FifoPolicy, LruPolicy, RandomPolicy,
 __all__ = [
     "CacheConfig", "CacheStats", "SetAssociativeCache", "LEVEL_L1",
     "LEVEL_L2", "LEVEL_L3", "LEVEL_MEM", "LEVEL_PENDING", "AccessResult",
-    "HierarchyConfig", "HierarchyStats", "MemoryHierarchy", "ChannelStats",
+    "HierarchyConfig", "HierarchyStats", "MemoryHierarchy", "SharedHierarchy",
+    "CoreView", "PHYS_WINDOW_STRIDE", "ChannelStats",
     "MainMemory", "MemoryChannel", "FifoPolicy", "LruPolicy", "RandomPolicy",
     "ReplacementPolicy", "make_policy",
 ]

@@ -1,4 +1,16 @@
-"""Three-level cache hierarchy with lazy fills and MSHR-style merging.
+"""Cache hierarchy: per-core private slices over a shared last-level cache.
+
+The hierarchy is split along the boundary real multi-core parts share:
+
+* :class:`SharedHierarchy` owns the **L3 and the memory channel** — the
+  resources every core (and SMT thread) on the socket contends for.
+* :class:`MemoryHierarchy` (alias :data:`CoreView`) is one core's
+  **private slice** — L1I/L1D/L2, its MSHRs (pending fills) and its
+  statistics — plus references to the shared level.  It preserves the
+  exact single-core API the pipeline, the runahead controllers and the
+  covert-channel receivers bind to; a standalone ``MemoryHierarchy()``
+  transparently builds its own single-view shared level, so single-core
+  callers never see the split.
 
 The design decisions that the SPECRUN experiments depend on:
 
@@ -10,16 +22,33 @@ The design decisions that the SPECRUN experiments depend on:
   its data, so runahead can re-enter.
 * **MSHR merging.**  A second access to an in-flight line does not issue a
   new memory request; it simply waits for the existing completion.
+  MSHRs are per core view, as in real private-cache miss handling: two
+  *different* cores missing the same line each issue a request (they
+  still contend on the shared channel).
 * **Hit-path fills are immediate.**  L2/L3 hits install the line into the
   levels above right away; the tens-of-cycles visibility error this
   introduces is irrelevant to every experiment, while the memory-path
   laziness above is load-bearing.
+* **Inclusive, back-invalidating L3 — multi-core only.**  With two or
+  more views attached, evicting a line from the shared L3 invalidates
+  every private copy on every core (the property cross-core
+  prime+probe and evict+reload rely on: priming an L3 set pushes the
+  victim's line out of the victim's own L1/L2).  A single-view
+  hierarchy keeps the historical non-inclusive behaviour so the
+  single-core golden-stats fixtures stay byte-identical.
+* **Per-core physical windows.**  Each view can carry a ``phys_base``
+  offset applied to every address it is handed, so co-runner streams
+  assembled at the same low virtual addresses as the victim occupy
+  disjoint lines in the shared L3.  The victim and the attacker's
+  measurement view use base 0 (flush+reload's shared-memory
+  assumption); co-runners get 1 GiB-aligned windows, preserving set
+  indices at every level.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .cache import CacheConfig, SetAssociativeCache
 from .main_memory import MemoryChannel
@@ -33,6 +62,10 @@ LEVEL_PENDING = "pending"
 #: "No pending fill" sentinel for the next-fill fast path (any real
 #: completion cycle compares smaller).
 _NO_FILL = float("inf")
+
+#: Stride between per-core physical windows (1 GiB: a multiple of every
+#: cache's set span, so offsetting preserves set indices).
+PHYS_WINDOW_STRIDE = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -80,6 +113,12 @@ class HierarchyConfig:
         return self.l1d.latency
 
     @property
+    def llc_hit_latency(self):
+        """Latency of an access served by the shared L3 (the fastest a
+        *cross-core* observation of another core's fill can be)."""
+        return self.l1d.latency + self.l2.latency + self.l3.latency
+
+    @property
     def data_miss_latency(self):
         """Nominal latency of a full walk to main memory (no contention)."""
         return (self.l1d.latency + self.l2.latency + self.l3.latency +
@@ -93,7 +132,7 @@ class AccessResult:
     latency: int          # cycles from the access until data is available
     level: str            # which level served it (LEVEL_* constant)
     completion: int       # absolute cycle at which data is available
-    line: int             # block-aligned address
+    line: int             # block-aligned (physical) address
     merged: bool = False  # True if this access merged into an in-flight fill
 
     @property
@@ -121,28 +160,179 @@ class HierarchyStats:
     prefetch_requests: int = 0
 
 
-class MemoryHierarchy:
-    """L1I/L1D + unified L2/L3 + main-memory channel."""
+class _SharedL3(SetAssociativeCache):
+    """The shared last-level cache.
 
-    def __init__(self, config: Optional[HierarchyConfig] = None):
+    Identical to :class:`SetAssociativeCache` except that, when the
+    owning :class:`SharedHierarchy` is inclusive (two or more views),
+    every eviction **back-invalidates** the victim line from every
+    core's private caches.  Routing this through the cache object itself
+    (rather than the hierarchy walk) means direct fills — notably the
+    receivers' priming/eviction-set construction — uphold inclusion
+    too.
+    """
+
+    def __init__(self, config: CacheConfig, shared: "SharedHierarchy"):
+        super().__init__(config)
+        self._shared = shared
+
+    def fill(self, addr):
+        evicted = super().fill(addr)
+        if evicted is not None and self._shared.inclusive:
+            self._shared._back_invalidate(evicted)
+        return evicted
+
+
+class SharedHierarchy:
+    """The socket-level shared slice: L3, memory channel, core views.
+
+    Build one and attach views::
+
+        shared = SharedHierarchy(config, cores=0)
+        victim = shared.add_core()                  # phys window 0
+        noisy  = shared.add_core(phys_base=PHYS_WINDOW_STRIDE)
+        smt    = shared.add_smt_thread(victim,
+                                       phys_base=2 * PHYS_WINDOW_STRIDE)
+
+    or ask for ``cores=N`` uniform views up front.  ``inclusive``
+    defaults to "two or more views attached" — a single-view hierarchy
+    behaves exactly like the historical monolithic ``MemoryHierarchy``
+    (no back-invalidation), which the golden-stats fixtures pin down.
+    """
+
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 cores: int = 1, inclusive: Optional[bool] = None):
         self.config = config or HierarchyConfig.paper()
-        self.l1i = SetAssociativeCache(self.config.l1i)
-        self.l1d = SetAssociativeCache(self.config.l1d)
-        self.l2 = SetAssociativeCache(self.config.l2)
-        self.l3 = SetAssociativeCache(self.config.l3)
+        self._inclusive = inclusive
+        self.l3 = _SharedL3(self.config.l3, self)
         self.channel = MemoryChannel(self.config.mem_latency,
                                      self.config.mem_occupancy)
+        self.views: List["MemoryHierarchy"] = []
+        for _ in range(cores):
+            MemoryHierarchy(shared=self)   # registers itself
+
+    @property
+    def inclusive(self) -> bool:
+        """Whether L3 evictions back-invalidate private copies."""
+        if self._inclusive is not None:
+            return self._inclusive
+        return len(self.views) > 1
+
+    def core(self, index: int) -> "MemoryHierarchy":
+        return self.views[index]
+
+    def add_core(self, phys_base: int = 0) -> "MemoryHierarchy":
+        """Attach a new core view with its own private L1I/L1D/L2."""
+        return MemoryHierarchy(shared=self, phys_base=phys_base)
+
+    def add_smt_thread(self, sibling: "MemoryHierarchy",
+                       phys_base: int = 0) -> "MemoryHierarchy":
+        """Attach an SMT thread: shares ``sibling``'s private caches.
+
+        The thread gets its own pending-fill map and statistics (its
+        misses are its own) but fills and evicts the sibling's L1I/L1D/
+        L2 — the co-runner interference an SMT pair actually has.
+        """
+        return MemoryHierarchy(shared=self, phys_base=phys_base,
+                               smt_with=sibling)
+
+    # -- shared-level operations ------------------------------------------------
+
+    def _back_invalidate(self, line):
+        """Inclusive L3 evicted ``line``: clear every private copy."""
+        for view in self.views:
+            view.l1d.invalidate(line)
+            view.l1i.invalidate(line)
+            view.l2.invalidate(line)
+
+    def flush_phys_line(self, line):
+        """``clflush`` a physical line everywhere: every view's private
+        caches, the shared L3, and any in-flight fill on any view (the
+        waiting loads still complete — only the install is dropped)."""
+        self._back_invalidate(line)
+        self.l3.invalidate(line)
+        for view in self.views:
+            pending = view._pending.get(line)
+            if pending is not None and not pending.dropped:
+                pending.dropped = True
+                view.stats.dropped_fills += 1
+
+    def apply_completed(self, now):
+        """Install every view's pending fills whose completion passed."""
+        for view in self.views:
+            if now >= view.next_fill:
+                view.apply_completed(now)
+
+    def next_event(self):
+        """Earliest pending-fill completion across all views, or None."""
+        best = None
+        for view in self.views:
+            if view._pending and (best is None or view.next_fill < best):
+                best = view.next_fill
+        return best
+
+    def reset(self):
+        """Reset the shared level and every attached view."""
+        self.l3.reset()
+        self.channel.reset()
+        for view in self.views:
+            view.l1i.reset()
+            view.l1d.reset()
+            view.l2.reset()
+            view._pending.clear()
+            view.next_fill = _NO_FILL
+            view.stats = HierarchyStats()
+
+
+class MemoryHierarchy:
+    """One core's view: private L1I/L1D + L2 over the shared L3.
+
+    Standalone construction (``MemoryHierarchy(config)``) builds a
+    private single-view :class:`SharedHierarchy` underneath, preserving
+    the historical single-core API and behaviour exactly.  Views of an
+    explicit shared hierarchy are created through
+    :meth:`SharedHierarchy.add_core` / :meth:`~SharedHierarchy.
+    add_smt_thread`.
+    """
+
+    def __init__(self, config: Optional[HierarchyConfig] = None, *,
+                 shared: Optional[SharedHierarchy] = None,
+                 phys_base: int = 0,
+                 smt_with: Optional["MemoryHierarchy"] = None):
+        if shared is None:
+            shared = SharedHierarchy(config, cores=0)
+        elif config is not None and config != shared.config:
+            raise ValueError(
+                "config disagrees with the shared hierarchy's config")
+        self.shared = shared
+        self.config = shared.config
+        self.phys_base = phys_base
+        self.view_id = len(shared.views)
+        if smt_with is not None:
+            if smt_with.shared is not shared:
+                raise ValueError("SMT sibling belongs to another hierarchy")
+            self.l1i = smt_with.l1i
+            self.l1d = smt_with.l1d
+            self.l2 = smt_with.l2
+        else:
+            self.l1i = SetAssociativeCache(self.config.l1i)
+            self.l1d = SetAssociativeCache(self.config.l1d)
+            self.l2 = SetAssociativeCache(self.config.l2)
+        self.l3 = shared.l3
+        self.channel = shared.channel
         self._pending: Dict[int, _PendingFill] = {}
-        #: Earliest completion among pending fills (kept exact; public
-        #: so the core can gate its per-cycle ``apply_completed`` call on
-        #: one integer compare).
+        #: Earliest completion among this view's pending fills (kept
+        #: exact; public so the core can gate its per-cycle
+        #: ``apply_completed`` call on one integer compare).
         self.next_fill = _NO_FILL
         self.stats = HierarchyStats()
+        shared.views.append(self)
 
     # -- helpers -----------------------------------------------------------------
 
     def line_of(self, addr):
-        return addr & ~(self.config.line_bytes - 1)
+        """Physical line address of ``addr`` in this view's window."""
+        return (addr + self.phys_base) & ~(self.config.line_bytes - 1)
 
     def apply_completed(self, now):
         """Install every pending fill whose completion has passed."""
@@ -266,17 +456,11 @@ class MemoryHierarchy:
     # -- maintenance -----------------------------------------------------------------
 
     def flush_line(self, addr):
-        """``clflush``: evict from every level; drop any in-flight fill."""
-        line = self.line_of(addr)
+        """``clflush``: evict from every level **on every core** and drop
+        any in-flight fill anywhere (the flush is to the coherence
+        domain, not to this view)."""
         self.stats.flushes += 1
-        self.l1d.invalidate(line)
-        self.l1i.invalidate(line)
-        self.l2.invalidate(line)
-        self.l3.invalidate(line)
-        pending = self._pending.get(line)
-        if pending is not None and not pending.dropped:
-            pending.dropped = True
-            self.stats.dropped_fills += 1
+        self.shared.flush_phys_line(self.line_of(addr))
 
     def warm(self, addr, level=LEVEL_L1, inst=False):
         """Install a line directly (experiment setup, no timing charged)."""
@@ -291,10 +475,11 @@ class MemoryHierarchy:
 
     def warm_range(self, start, size_bytes, level=LEVEL_L1):
         """Warm every line in ``[start, start + size_bytes)``."""
-        line = self.line_of(start)
+        line_bytes = self.config.line_bytes
+        line = start & ~(line_bytes - 1)
         while line < start + size_bytes:
             self.warm(line, level=level)
-            line += self.config.line_bytes
+            line += line_bytes
 
     def warm_code_range(self, start, size_bytes):
         """Warm a code region into *both* L1 caches (plus L2/L3).
@@ -304,15 +489,17 @@ class MemoryHierarchy:
         be resident on both paths.  One pass per line replaces the old
         warm-data-range-then-refill-L1I double walk in ``Core.__init__``.
         """
-        line = self.line_of(start)
-        end = start + size_bytes
         line_bytes = self.config.line_bytes
-        while line < end:
+        base = self.phys_base
+        virt = start & ~(line_bytes - 1)
+        end = start + size_bytes
+        while virt < end:
+            line = virt + base
             self.l3.fill(line)
             self.l2.fill(line)
             self.l1d.fill(line)
             self.l1i.fill(line)
-            line += line_bytes
+            virt += line_bytes
 
     def probe_latency(self, addr, now):
         """Latency a data access at ``now`` *would* see — read-only.
@@ -323,15 +510,17 @@ class MemoryHierarchy:
         performs no fills, no LRU updates and no statistics, so a
         multi-trial receiver can re-measure the post-run hierarchy
         without the measurement perturbing what it measures.  (Pending
-        fills that have completed by ``now`` are installed first, exactly
-        as any access at ``now`` would observe them.)
+        fills that have completed by ``now`` are installed first —
+        across *every* view of the shared hierarchy, exactly as any
+        access at ``now`` would observe them; a cross-core receiver must
+        see the victim's completed fills in the shared L3.)
 
         Returns ``(latency, level)`` with ``level`` a ``LEVEL_*``
         constant.  A still-in-flight line costs the remaining wait, as in
         the MSHR-merge path of :meth:`access_data`; a full miss costs the
         nominal (contention-free) memory walk.
         """
-        self.apply_completed(now)
+        self.shared.apply_completed(now)
         line = self.line_of(addr)
         pending = self._pending.get(line)
         if pending is not None and not pending.dropped:
@@ -354,9 +543,19 @@ class MemoryHierarchy:
         return cache.probe(line)
 
     def reset(self):
+        """Reset this view *and* the shared level it references.
+
+        (Historical single-core semantics; with multiple views attached
+        prefer :meth:`SharedHierarchy.reset`, which resets every view.)
+        """
         for cache in (self.l1i, self.l1d, self.l2, self.l3):
             cache.reset()
         self.channel.reset()
         self._pending.clear()
         self.next_fill = _NO_FILL
         self.stats = HierarchyStats()
+
+
+#: The per-core facade name used by the multi-core subsystem; a
+#: standalone :class:`MemoryHierarchy` *is* a single-core view.
+CoreView = MemoryHierarchy

@@ -1,0 +1,10 @@
+"""Multi-core simulation: lockstep scheduling and cross-core channels."""
+
+from .scenario import (Topology, build_attack_system,
+                       calibrate_topology_receiver, run_topology_attack)
+from .system import CoreSlot, MultiCoreSystem
+
+__all__ = [
+    "Topology", "build_attack_system", "calibrate_topology_receiver",
+    "run_topology_attack", "CoreSlot", "MultiCoreSystem",
+]

@@ -1,0 +1,260 @@
+"""Cross-core and SMT co-runner covert-channel scenarios.
+
+PR 3's receivers measured the *same* hierarchy the victim ran on — the
+attacker and victim were one simulated core, and "co-runner noise" was a
+measurement overlay (:class:`~repro.channel.noise.NoiseModel`).  This
+module runs the real thing:
+
+* the **victim** (the transmit gadget) executes on core 0;
+* the **attacker** measures from its own core's view of the shared,
+  inclusive L3 — its private L1/L2 never hold the victim's lines, so a
+  reload hit is an *LLC* hit and eviction/priming work through L3
+  back-invalidation, exactly the cross-core Prime+Probe/Evict+Reload
+  mechanism of the Spectre literature;
+* optional **co-runners** are real instruction streams (the Fig. 7
+  workload generators) interleaved cycle-accurately on further cores —
+  or, with ``smt=True``, as a second hardware thread sharing the
+  victim's private caches — whose fills and evictions perturb the run
+  itself, not just the probe.
+
+A :class:`Topology` names the arrangement with plain data so harness
+trials stay JSON-serializable; ``Topology()`` (one core, no co-runner)
+is exactly the PR 3 single-core path and is never routed through this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from ..channel.decode import signal_indices
+from ..channel.noise import NO_NOISE, NoiseModel
+from ..channel.receiver import ProbeLayout, Receiver, make_receiver, \
+    receiver_class
+from ..memory.hierarchy import PHYS_WINDOW_STRIDE, SharedHierarchy
+from ..pipeline.config import CoreConfig
+from ..pipeline.core import Core
+from .system import MultiCoreSystem
+
+DEFAULT_MAX_CYCLES = 3_000_000
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Placement of victim, attacker and co-runners on shared hardware.
+
+    cores:
+        Physical core count.  Core 0 runs the victim; with ``cores >=
+        2`` the attacker measures from the last core's view (it runs no
+        instruction stream — its cost is charged as receiver probe
+        cycles, as in PR 3); cores ``1 .. cores-2`` run the co-runner
+        workload.
+    corunner:
+        Registry name of the workload run as a real interfering
+        instruction stream (``None`` = no co-runner).
+    smt:
+        Run the co-runner as a second hardware thread of the *victim's*
+        core — sharing its private L1I/L1D/L2, maximal interference —
+        instead of (or in addition to) dedicated co-runner cores.
+    corunner_runahead:
+        Runahead controller name for co-runner cores (default: none —
+        a plain out-of-order background process).
+    restart_corunner:
+        Respawn a co-runner whose kernel halts before the victim does
+        (a background process loops; a one-shot kernel does not).
+    """
+
+    cores: int = 1
+    corunner: Optional[str] = None
+    smt: bool = False
+    corunner_runahead: str = "none"
+    restart_corunner: bool = True
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.smt and self.corunner is None:
+            raise ValueError("smt=True needs a corunner workload to run "
+                             "on the second thread")
+        if self.corunner is not None and not self.smt and self.cores < 3:
+            raise ValueError(
+                "a dedicated co-runner core needs cores >= 3 (victim + "
+                "co-runner + attacker); use smt=True to share the "
+                "victim's core instead")
+
+    @property
+    def is_multicore(self) -> bool:
+        """True when this arrangement differs from the PR 3 single-core
+        same-view measurement path."""
+        return self.cores > 1 or self.corunner is not None
+
+    @property
+    def cross_core(self) -> bool:
+        """True when the attacker measures from a different core."""
+        return self.cores > 1
+
+    @classmethod
+    def from_params(cls, params: Union[None, "Topology", Mapping]) \
+            -> Optional["Topology"]:
+        """Build from harness trial params; ``None``/defaults mean the
+        single-core path (returns ``None``)."""
+        if params is None:
+            return None
+        if isinstance(params, cls):
+            return params if params.is_multicore else None
+        known = {"cores", "corunner", "smt", "corunner_runahead",
+                 "restart_corunner"}
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(f"unknown topology keys: {sorted(unknown)}")
+        topology = cls(**dict(params))
+        return topology if topology.is_multicore else None
+
+    def to_spec(self) -> dict:
+        return {"cores": self.cores, "corunner": self.corunner,
+                "smt": self.smt,
+                "corunner_runahead": self.corunner_runahead,
+                "restart_corunner": self.restart_corunner}
+
+
+def build_attack_system(attack, runahead, config: CoreConfig,
+                        receiver_name: str, topology: Topology) \
+        -> Tuple[MultiCoreSystem, Receiver]:
+    """Assemble the shared hierarchy, cores and receiver for one run.
+
+    The victim and the attacker's measurement view share physical
+    window 0 (flush+reload's shared-memory assumption: probe lines are
+    the same physical lines for both).  Each co-runner stream gets its
+    own 1 GiB window so its identically-low virtual addresses occupy
+    disjoint lines — set indices are preserved, so its *set pressure*
+    on the shared L3 is faithful while false line sharing is not
+    possible.
+    """
+    from ..harness.registry import get_workload, make_controller
+
+    shared = SharedHierarchy(config.hierarchy, cores=0)
+    victim_view = shared.add_core(phys_base=0)
+    system = MultiCoreSystem(shared)
+
+    def make_victim():
+        return Core(attack.program, memory_image=attack.image,
+                    config=config, runahead=runahead,
+                    initial_sp=attack.initial_sp, warm_icache=True,
+                    hierarchy=victim_view)
+
+    system.add_core(make_victim, name="victim")
+
+    if topology.corunner is not None:
+        workload = get_workload(topology.corunner)
+        views = []
+        window = 1
+        if topology.smt:
+            views.append(("smt", shared.add_smt_thread(
+                victim_view, phys_base=window * PHYS_WINDOW_STRIDE)))
+            window += 1
+        for index in range(topology.cores - 2):
+            views.append((f"corunner{index}", shared.add_core(
+                phys_base=window * PHYS_WINDOW_STRIDE)))
+            window += 1
+        for name, view in views:
+            def make_corunner(view=view):
+                program, image, sp = workload.materialize()
+                return Core(program, memory_image=image, config=config,
+                            runahead=make_controller(
+                                topology.corunner_runahead),
+                            initial_sp=sp, warm_icache=True,
+                            hierarchy=view)
+            system.add_core(make_corunner, name=name,
+                            restart=topology.restart_corunner)
+
+    attacker_view = victim_view if not topology.cross_core \
+        else shared.add_core(phys_base=0)
+    receiver = make_receiver(receiver_name,
+                             ProbeLayout.from_attack(attack),
+                             attacker_view)
+    if attacker_view is not victim_view:
+        receiver.cross_core()
+    return system, receiver
+
+
+def _run_system(attack, runahead, config, receiver_name, topology,
+                max_cycles):
+    """Build, prepare and run one multi-core scenario.
+
+    Ordering mirrors the single-core session: cores are built (and code
+    regions warmed) first, then ``receiver.prepare()`` resets the
+    channel, then the system runs to the victim's halt.
+    """
+    system, receiver = build_attack_system(attack, runahead, config,
+                                           receiver_name, topology)
+    receiver.prepare()
+    victim = system.run(max_cycles=max_cycles, primary=0)
+    if not victim.halted:
+        raise RuntimeError(
+            f"victim program did not finish in {max_cycles} cycles "
+            f"(topology {topology.to_spec()})")
+    return system, victim, receiver
+
+
+def calibrate_topology_receiver(calibration_attack, runahead,
+                                config: CoreConfig, receiver_name: str,
+                                topology: Topology,
+                                max_cycles: int = DEFAULT_MAX_CYCLES) \
+        -> Tuple[Tuple[int, ...], int]:
+    """Benign-trigger calibration through the *same* topology.
+
+    Because the co-runner stream is deterministic and the victim
+    program's timing is value-independent, the sets it deterministically
+    disturbs — now including real co-runner interference, not just the
+    program's own footprint — are identical across secret values, so one
+    calibration serves a whole multi-byte extraction, exactly as in the
+    single-core session.
+    """
+    _, core, receiver = _run_system(calibration_attack, runahead, config,
+                                    receiver_name, topology, max_cycles)
+    vector = receiver.measure(core.cycle, NO_NOISE, trial=0)
+    return tuple(sorted(signal_indices(vector))), core.stats.cycles
+
+
+def run_topology_attack(attack, runahead, config: Optional[CoreConfig],
+                        receiver: str, topology: Topology, noise=None,
+                        trials: int = 1, seed: int = 0,
+                        max_cycles: int = DEFAULT_MAX_CYCLES,
+                        extra_ignore=(), calibration_attack=None,
+                        calibration_runahead=None):
+    """Multi-core twin of :func:`repro.channel.session.run_channel_attack`.
+
+    Same contract and return type (:class:`~repro.channel.session.
+    ChannelOutcome`, with ``topology`` recorded); the victim run is
+    simulated once per transmitted value and ``trials`` read-only
+    measurements with independent noise draws are decoded together.
+    """
+    from ..channel.session import (ChannelOutcome, channel_ignore_set,
+                                   measure_and_decode)
+
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    config = config or CoreConfig.paper()
+    model = NoiseModel.from_spec(noise)
+    cls = receiver_class(receiver)
+    ignore = channel_ignore_set(cls, attack, extra_ignore)
+    calibration_cycles = 0
+    if cls.needs_calibration and calibration_attack is not None:
+        baseline, calibration_cycles = calibrate_topology_receiver(
+            calibration_attack, calibration_runahead, config, receiver,
+            topology, max_cycles)
+        ignore.update(baseline)
+
+    _, core, live = _run_system(attack, runahead, config, receiver,
+                                topology, max_cycles)
+    _, decoded, measure_cycles = measure_and_decode(
+        live, core.cycle, model, trials, seed, ignore)
+    return ChannelOutcome(
+        receiver=receiver, trials=trials,
+        noise=model.to_spec() if model is not None else None,
+        decode=decoded, ignore_indices=tuple(sorted(ignore)),
+        stats=core.stats, cycles=core.stats.cycles,
+        measure_cycles=measure_cycles,
+        calibration_cycles=calibration_cycles,
+        topology=topology.to_spec())

@@ -114,10 +114,18 @@ class Core:
     def __init__(self, program: Program, memory_image=None,
                  config: Optional[CoreConfig] = None,
                  runahead: Optional[RunaheadController] = None,
-                 initial_sp: Optional[int] = None, warm_icache=False):
+                 initial_sp: Optional[int] = None, warm_icache=False,
+                 hierarchy: Optional[MemoryHierarchy] = None):
         self.program = program
         self.config = config or CoreConfig.paper()
-        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        if hierarchy is None:
+            hierarchy = MemoryHierarchy(self.config.hierarchy)
+        elif hierarchy.config != self.config.hierarchy:
+            # A multi-core system hands each core a view of the shared
+            # hierarchy; its geometry must be the one the core config
+            # describes, else latency bookkeeping silently diverges.
+            raise ValueError("hierarchy config disagrees with core config")
+        self.hierarchy = hierarchy
         if warm_icache:
             # Steady-state assumption for micro-timing experiments: the
             # code is hot (a real attacker's loop would have warmed it).

@@ -222,3 +222,24 @@ class TestFig9Equivalence:
         assert attack.external_probe
         with pytest.raises(RuntimeError, match="external-probe"):
             attack.read_latencies(core=None)
+
+
+class TestCrossCoreBinding:
+    """``cross_core()`` rebases the fast reference to the shared LLC."""
+
+    def test_reload_receiver_rebases_hit_latency(self):
+        hierarchy = paper_hierarchy()
+        layout = ProbeLayout(base=1 << 20, entries=4, stride=512)
+        receiver = FlushReloadReceiver(layout, hierarchy)
+        assert receiver.hit_latency == hierarchy.config.data_hit_latency
+        assert receiver.cross_core() is receiver
+        assert receiver.hit_latency == hierarchy.config.llc_hit_latency
+
+    def test_prime_probe_is_already_llc_referenced(self):
+        hierarchy = paper_hierarchy()
+        layout = ProbeLayout(base=1 << 20, entries=4, stride=512)
+        receiver = PrimeProbeReceiver(layout, hierarchy)
+        before = receiver.hit_latency
+        receiver.cross_core()
+        assert receiver.hit_latency == before == \
+            hierarchy.config.llc_hit_latency

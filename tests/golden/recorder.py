@@ -54,11 +54,8 @@ def _arch_state_digest(core) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def core_record(workload_name: str, controller_name: str) -> dict:
-    """Run one workload on one controller; distill everything observable."""
-    workload = get_workload(workload_name)
-    controller = make_controller(controller_name)
-    core = workload.run(runahead=controller)
+def distill_core(core) -> dict:
+    """Distill everything observable about a finished core into a record."""
     hier = core.hierarchy
     caches = {}
     for label, cache in (("l1i", hier.l1i), ("l1d", hier.l1d),
@@ -73,6 +70,13 @@ def core_record(workload_name: str, controller_name: str) -> dict:
         "branch": dataclasses.asdict(core.branch_unit.stats),
         "arch_state": _arch_state_digest(core),
     }
+
+
+def core_record(workload_name: str, controller_name: str) -> dict:
+    """Run one workload on one controller; distill everything observable."""
+    workload = get_workload(workload_name)
+    controller = make_controller(controller_name)
+    return distill_core(workload.run(runahead=controller))
 
 
 def all_core_records() -> dict:

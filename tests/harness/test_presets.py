@@ -8,6 +8,7 @@ from repro.harness import presets
 from repro.harness.registry import (CONTROLLERS, get_workload, make_config,
                                     make_controller, make_noise,
                                     resolve_receiver)
+from repro.multicore.scenario import Topology
 
 ALL = sorted(presets.PRESETS)
 
@@ -29,7 +30,9 @@ def test_quick_tier_is_no_bigger(name):
 def test_expected_presets_exist():
     for name in ("table1", "fig4", "fig7", "fig9", "fig10", "fig11",
                  "fig12", "sec43", "sec6", "ablations",
-                 "fig9_noise_sweep", "channel_bandwidth"):
+                 "fig9_noise_sweep", "channel_bandwidth",
+                 "fig10_cross_core", "cross_core_bandwidth",
+                 "smt_corunner_sweep"):
         assert name in presets.PRESETS
 
 
@@ -60,10 +63,33 @@ def test_preset_trials_resolve_through_registry():
                     make_controller(trial.params[key])
             if "workload" in trial.params:
                 get_workload(trial.params["workload"])
+            if trial.params.get("corunner") is not None:
+                get_workload(trial.params["corunner"])
+                make_controller(trial.params.get("corunner_runahead",
+                                                 "none"))
+            Topology.from_params({k: trial.params[k]
+                                  for k in ("cores", "corunner", "smt",
+                                            "corunner_runahead")
+                                  if k in trial.params})
             resolve_receiver(trial.params.get("receiver"))
             make_noise(trial.params.get("noise"))
             make_config(trial.params.get("config_base", "paper"),
                         trial.params.get("config"))
+
+
+def test_cross_core_presets_place_the_receiver_on_another_core():
+    """The cross-core scenario family measures through a multi-core
+    topology in every trial that claims to."""
+    for trial in presets.get("fig10_cross_core").build():
+        assert trial.params["cores"] >= 2
+    placements = {trial.params.get("cores", 1)
+                  for trial in presets.get("cross_core_bandwidth").build()}
+    assert placements == {1, 2}
+    scenarios = presets.get("smt_corunner_sweep").build()
+    assert any(t.params.get("smt") for t in scenarios)
+    assert any(t.params.get("cores") == 3 for t in scenarios)
+    assert any(t.params.get("corunner") is None and t.params.get("noise")
+               for t in scenarios)          # the overlay comparison row
 
 
 class TestRegistry:

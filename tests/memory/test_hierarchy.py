@@ -3,8 +3,9 @@
 import pytest
 
 from repro.memory import (LEVEL_L1, LEVEL_L2, LEVEL_L3, LEVEL_MEM,
-                          LEVEL_PENDING, HierarchyConfig, MainMemory,
-                          MemoryChannel, MemoryHierarchy)
+                          LEVEL_PENDING, CoreView, HierarchyConfig,
+                          MainMemory, MemoryChannel, MemoryHierarchy,
+                          SharedHierarchy)
 
 
 @pytest.fixture
@@ -143,6 +144,43 @@ class TestInstructionPath:
         result = hierarchy.access_inst(0x0, now=first.completion + 1)
         assert result.level == LEVEL_L1
         assert result.latency == 2
+
+
+class TestFacade:
+    """A standalone MemoryHierarchy IS a single view of its own shared
+    level — the facade the multi-core subsystem generalizes."""
+
+    def test_memory_hierarchy_is_the_core_view(self):
+        assert CoreView is MemoryHierarchy
+
+    def test_standalone_builds_its_own_shared_level(self, hierarchy):
+        assert hierarchy.shared.views == [hierarchy]
+        assert hierarchy.l3 is hierarchy.shared.l3
+        assert hierarchy.channel is hierarchy.shared.channel
+        assert not hierarchy.shared.inclusive
+
+    def test_explicit_single_view_behaves_identically(self):
+        explicit = SharedHierarchy(HierarchyConfig.paper(), cores=1).core(0)
+        implicit = MemoryHierarchy(HierarchyConfig.paper())
+        for h in (explicit, implicit):
+            first = h.access_data(0x1000, now=0)
+            assert first.level == LEVEL_MEM
+            h.apply_completed(first.completion)
+        assert explicit.probe_latency(0x1000, 10_000) == \
+            implicit.probe_latency(0x1000, 10_000)
+
+    def test_llc_hit_latency_is_the_full_walk_to_l3(self, hierarchy):
+        config = hierarchy.config
+        assert config.llc_hit_latency == (config.l1d.latency +
+                                          config.l2.latency +
+                                          config.l3.latency)
+
+    def test_flush_drops_in_flight_fill_exactly_once(self, hierarchy):
+        hierarchy.access_data(0x9000, now=0)
+        hierarchy.flush_line(0x9000)
+        hierarchy.flush_line(0x9000)
+        assert hierarchy.stats.dropped_fills == 1
+        assert hierarchy.stats.flushes == 2
 
 
 class TestMainMemory:
