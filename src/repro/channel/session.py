@@ -18,6 +18,23 @@ The flow per transmitted value:
 3. measure ``trials`` probe vectors (per-trial noise seeded from
    :func:`~repro.channel.noise.derive_seed`), decode with
    :func:`~repro.channel.decode.decode_trials`.
+
+Public contract
+---------------
+* :func:`run_channel_attack` is the single entry point for one-value
+  channel runs; :func:`repro.channel.extract.extract_secret` loops it
+  per byte, and the harness ``attack``/``extract`` trial kinds call
+  those two — nothing else constructs receivers against a live run.
+  Passing ``topology`` routes to :func:`repro.multicore.scenario.
+  run_topology_attack`; the single-core path is byte-identical with
+  or without that parameter present.
+* :class:`ChannelOutcome` is the stable result shape: ``to_dict`` is
+  what harness records persist and cache, so new fields must keep old
+  payloads decodable (add keys conditionally, as ``topology`` does).
+* :func:`channel_ignore_set` and :func:`measure_and_decode` are shared
+  with the multi-core path — they define the receiver-validation and
+  ``derive_seed("channel", seed, trial)`` noise-seeding contracts both
+  paths must honour for results to stay comparable and cacheable.
 """
 
 from __future__ import annotations

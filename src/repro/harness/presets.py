@@ -8,6 +8,26 @@ their experiments here, so a figure is defined in exactly one place.
 
 ``build(quick=True)`` returns a reduced grid for CI smoke runs — fewer
 axis points, same trial kinds and the same code paths end to end.
+
+Public contract
+---------------
+* :data:`PRESETS` / :func:`get` are the catalogue: every entry is a
+  :class:`Preset` whose ``build(quick=False)`` returns a fresh,
+  JSON-serializable :class:`~repro.harness.spec.Sweep` and whose
+  ``render(result)`` turns the executed sweep back into the report
+  text.  ``repro sweep``/``repro report``, every ``benchmarks/bench_*``
+  file and the examples resolve experiments only through here.
+* Sweeps must be **byte-identical at any worker count**: trial params
+  may contain only registry names and numbers, and any randomness must
+  derive from committed seed constants (`FIG9_NOISE_SEED` et al.).
+* Trial params are the *cache identity*: renaming or reordering presets
+  is free (the sweep name is not hashed), but changing a trial's params
+  recomputes it — which is also how two presets share cached rows by
+  emitting identical trials (see ``cross_core_bandwidth``).
+* Some rendered *findings* are empirical properties of the committed
+  constants (Fig. 9's monotone success curve, the smt/trace co-runner
+  calibration results) — pinned by the benchmarks; re-verify when
+  retuning.
 """
 
 from __future__ import annotations
@@ -417,6 +437,96 @@ def _render_smt_corunner(result: SweepResult) -> str:
             "window cannot\nfake a reload hit on the victim's lines.")
 
 
+# ------------------------------------------------------------ fig7_traces
+
+TRACE_KERNELS = ("trace-mcf", "trace-stream", "trace-gcc", "trace-zipf")
+TRACE_KERNELS_QUICK = ("trace-mcf", "trace-stream")
+
+
+def _build_fig7_traces(quick: bool = False) -> Sweep:
+    kernels = TRACE_KERNELS_QUICK if quick else TRACE_KERNELS
+    return Sweep.grid("fig7_traces", "ipc",
+                      base={"baseline": "none", "contender": "original"},
+                      description="Fig. 7 under trace-driven workloads: "
+                                  "IPC with/without runahead",
+                      workload=list(kernels))
+
+
+def _render_fig7_traces(result: SweepResult) -> str:
+    rows = result.results("ipc")
+    mean = geometric_mean_speedup(rows)
+    return (ipc_table(rows, baseline_label="no-runahead") +
+            "\n\nnormalized IPC (runahead / no-runahead):\n" +
+            speedup_bars(rows) +
+            f"\n\ngeometric mean speedup: {mean:.3f}x\n"
+            "trace replays are pure access streams (no compute to hide "
+            "latency), so gains\nrun higher than the Fig. 7 kernels; the "
+            "structure still differentiates: the\nmcf-style chase is "
+            "serialized (dependent loads go INV — runahead prefetches\n"
+            "only the arc streams), streaming prefetches everything, "
+            "zipf's hot set is\ncache-resident.")
+
+
+# ---------------------------------------------------- trace_pressure_sweep
+
+#: Co-runner rows of the trace-pressure sweep: clean cross-core baseline,
+#: a streaming trace, and the mcf-style chase trace.
+TRACE_PRESSURE_CORUNNERS = (None, "trace-stream", "trace-mcf")
+TRACE_PRESSURE_RECEIVERS = ("prime-probe", "flush-reload")
+
+
+def _build_trace_pressure(quick: bool = False) -> Sweep:
+    secret = FIG9_NOISE_SECRET_QUICK if quick else FIG9_NOISE_SECRET
+    sweep = Sweep("trace_pressure_sweep",
+                  description="extraction success under trace-driven "
+                              "co-runner cache pressure")
+    for receiver in TRACE_PRESSURE_RECEIVERS:
+        for corunner in TRACE_PRESSURE_CORUNNERS:
+            params = dict(variant="pht", receiver=receiver, secret=secret,
+                          trials=CROSS_CORE_TRIALS, runahead="original",
+                          seed=FIG9_NOISE_SEED)
+            if corunner is None:
+                params["cores"] = 2
+            else:
+                params.update(cores=3, corunner=corunner,
+                              corunner_runahead="original")
+            sweep.add("extract", **params)
+    return sweep
+
+
+def _trace_pressure_label(params) -> str:
+    corunner = params.get("corunner")
+    if corunner is None:
+        return "no co-runner"
+    return f"{corunner} (runahead)"
+
+
+def _render_trace_pressure(result: SweepResult) -> str:
+    rows = []
+    for record in result.select("extract"):
+        res = record["result"]
+        rows.append((res["receiver"],
+                     _trace_pressure_label(record["params"]),
+                     f"{res['success_rate']:.2f}",
+                     _recovered_text(res["recovered"]),
+                     f"{res['bits_per_kcycle']:.3f}",
+                     f"{res['bandwidth_bits_per_s']:,.0f}"))
+    table = format_table(
+        ["receiver", "co-runner pressure", "success rate", "recovered",
+         "bits/kcycle", "bits/s @2GHz"], rows)
+    return (f"{table}\n\nall rows cross-core, no measurement noise, "
+            f"{CROSS_CORE_TRIALS} trials/byte; co-runners are\n"
+            "trace replays on a *runahead* core (the paper's machine), "
+            "whose prefetch\ntraffic densifies their cache pressure.\n"
+            "the streaming trace sweeps a contiguous low set band the "
+            "benign calibration\nrun learns to ignore; the mcf-style "
+            "chase's node graph + arc arrays alias the\nset range where "
+            "the probe entries live, so calibration ignores the secret's"
+            "\nown sets and prime+probe decodes nothing.  reload "
+            "channels lose only\nbandwidth: a co-runner in its own "
+            "physical window cannot fake a reload hit.")
+
+
 # ----------------------------------------------------------------- fig10
 
 def _build_fig10(quick: bool = False) -> Sweep:
@@ -672,6 +782,12 @@ PRESETS: Dict[str, Preset] = {
         Preset("smt_corunner_sweep",
                "co-runner interference: overlay vs real streams",
                _build_smt_corunner, _render_smt_corunner),
+        Preset("fig7_traces",
+               "Fig. 7 under trace-driven workloads",
+               _build_fig7_traces, _render_fig7_traces),
+        Preset("trace_pressure_sweep",
+               "extraction success under trace-driven co-runner pressure",
+               _build_trace_pressure, _render_trace_pressure),
         Preset("fig10", "Fig. 10: transient-window scenarios",
                _build_fig10, _render_fig10),
         Preset("fig11", "Fig. 11: leaking beyond the ROB",

@@ -132,14 +132,33 @@ def _build_reference() -> Workload:
 
 
 def workloads() -> Dict[str, Workload]:
-    """All named workloads: the Fig. 7 suite plus the reference kernel."""
+    """All named workloads: the Fig. 7 suite, the reference kernel, and
+    the synthetic trace-replay suite (``trace-mcf``/``trace-stream``/
+    ``trace-gcc``/``trace-zipf``)."""
+    from ..trace import trace_suite
+
     table = dict(spec_like_suite())
     ref = _build_reference()
     table[ref.name] = ref
+    table.update(trace_suite())
     return table
 
 
 def get_workload(name: str) -> Workload:
+    """Resolve a workload name.
+
+    Besides the :func:`workloads` table, names of the form
+    ``trace:<path>`` replay a recorded trace file
+    (:func:`repro.trace.replay.replay_workload_from_file`) — still a
+    plain string, so such trials stay JSON-serializable.
+    """
+    if name.startswith("trace:"):
+        from ..trace import replay_workload_from_file
+        try:
+            return replay_workload_from_file(name[len("trace:"):])
+        except OSError as exc:
+            raise KeyError(f"cannot read trace workload {name!r}: "
+                           f"{exc}") from exc
     table = workloads()
     try:
         return table[name]

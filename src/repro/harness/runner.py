@@ -28,6 +28,11 @@ Trial kinds and their parameters (all optional unless noted):
     ``workload`` (required), ``baseline`` (default no-runahead),
     ``contender`` (default original) + ``contender_kwargs``,
     ``config_base``/``config``, ``max_cycles``.
+
+Wherever a workload name is accepted (``workload``/``corunner``), the
+registry also resolves the synthetic trace suite (``trace-mcf``,
+``trace-stream``, ``trace-gcc``, ``trace-zipf``) and saved trace files
+(``trace:<path>``) — see :mod:`repro.trace`.
 ``window``
     ``runahead``, ``async_flushes``, ``sled``,
     ``config_base``/``config``.

@@ -21,6 +21,30 @@ A :class:`Topology` names the arrangement with plain data so harness
 trials stay JSON-serializable; ``Topology()`` (one core, no co-runner)
 is exactly the PR 3 single-core path and is never routed through this
 module.
+
+Public contract
+---------------
+Three docs surfaces (CHANNELS, EXPERIMENTS, WORKLOADS) and the harness
+reference exactly these entry points:
+
+* :class:`Topology` — immutable, data-only placement spec.
+  ``from_params`` accepts ``None`` / a ``Topology`` / a params mapping
+  and returns ``None`` whenever the arrangement is equivalent to the
+  single-core path, so callers can branch on "is this multi-core at
+  all" in one place; ``to_spec`` round-trips through JSON.
+* :func:`run_topology_attack` — the multi-core twin of
+  :func:`repro.channel.session.run_channel_attack`: same parameters,
+  same seeding contract, same :class:`~repro.channel.session.
+  ChannelOutcome` return type (with ``topology`` filled in).  Callers
+  never construct cores or views themselves.
+* :func:`build_attack_system` / :func:`calibrate_topology_receiver` —
+  the assembly and calibration halves, exposed for tests and custom
+  scenarios.
+
+Invariants: runs are pure functions of ``(attack spec, receiver,
+noise spec, seed, topology)`` — deterministic at any harness worker
+count — and a ``corunner`` is resolved by *registry name* (including
+``trace-*`` and ``trace:<path>`` trace replays), never by live object.
 """
 
 from __future__ import annotations

@@ -1,0 +1,87 @@
+"""Trace format: events, derived views, and file round-trips."""
+
+import pytest
+
+from repro.trace import (BRANCH, LOAD, STORE, Trace, TraceEvent,
+                         TraceFormatError, load_trace, make_trace)
+
+
+def _sample():
+    return make_trace("sample", [
+        TraceEvent(pc=0x100, kind=LOAD, address=0x10_0040),
+        TraceEvent(pc=0x104, kind=STORE, address=0x10_0080),
+        TraceEvent(pc=0x108, kind=BRANCH, taken=True),
+        TraceEvent(pc=0x10c, kind=LOAD, address=0x10_0040, depends=True),
+        TraceEvent(pc=0x110, kind=BRANCH, taken=False),
+    ], meta={"family": "unit"})
+
+
+class TestEvents:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceFormatError, match="unknown event kind"):
+            TraceEvent(pc=0, kind="jump")
+
+    def test_rejects_misaligned_address(self):
+        with pytest.raises(TraceFormatError, match="misaligned"):
+            TraceEvent(pc=0, kind=LOAD, address=0x1001)
+
+    def test_depends_only_on_loads(self):
+        with pytest.raises(TraceFormatError, match="depends"):
+            TraceEvent(pc=0, kind=STORE, address=0x40, depends=True)
+
+    def test_branch_is_not_memory(self):
+        assert not TraceEvent(pc=0, kind=BRANCH).is_memory
+        assert TraceEvent(pc=0, kind=LOAD, address=8).is_memory
+
+
+class TestDerivedViews:
+    def test_streams_and_counts(self):
+        trace = _sample()
+        assert trace.address_stream() == [
+            (LOAD, 0x10_0040), (STORE, 0x10_0080), (LOAD, 0x10_0040)]
+        assert trace.taken_stream() == [True, False]
+        assert trace.counts() == {LOAD: 2, STORE: 1, BRANCH: 2}
+        assert trace.dependent_load_count() == 1
+        assert trace.taken_rate() == 0.5
+        assert trace.max_address() == 0x10_0080
+
+    def test_footprint_and_set_stream(self):
+        trace = _sample()
+        assert trace.footprint_lines() == 2
+        # paper L1D: 64 sets of 64B lines.
+        sets = trace.set_stream(64)
+        assert sets == [(0x10_0040 // 64) % 64, (0x10_0080 // 64) % 64,
+                        (0x10_0040 // 64) % 64]
+
+    def test_digest_covers_depends(self):
+        trace = _sample()
+        flat = make_trace("sample", [
+            TraceEvent(e.pc, e.kind, e.address, e.taken, False)
+            for e in trace.events], meta=trace.meta)
+        assert trace.digest() != flat.digest()
+
+
+class TestFileFormat:
+    def test_text_round_trip(self):
+        trace = _sample()
+        loaded = Trace.loads(trace.dumps())
+        assert loaded.name == trace.name
+        assert loaded.meta == trace.meta
+        assert [(e.kind, e.pc, e.address, e.taken, e.depends)
+                for e in loaded.events] == \
+               [(e.kind, e.pc, e.address, e.taken, e.depends)
+                for e in trace.events]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "sample.trace"
+        trace = _sample()
+        trace.save(path)
+        assert load_trace(path).digest() == trace.digest()
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            Trace.loads("L 0 40\n")
+
+    def test_rejects_malformed_event(self):
+        with pytest.raises(TraceFormatError, match="malformed"):
+            Trace.loads("#repro-trace v1\nX 0 40\n")

@@ -1,0 +1,70 @@
+"""Replay preserves the source trace's cache-set geometry.
+
+Regression guard for the lowering's address mapping: today replay keeps
+traced byte addresses verbatim, so set indices match by identity.  If
+the lowering ever starts remapping addresses (compaction, window
+packing), these tests pin the actual contract — the *set index
+sequence* at every cache level, and the line-footprint size, must
+survive — which is exactly what makes trace pressure representative.
+"""
+
+import pytest
+
+from repro.harness.registry import make_config
+from repro.trace import (TraceReplayWorkload, pattern_region, record_trace,
+                         synthetic_trace)
+
+GEOMETRIES = ("l1d", "l2", "l3")
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return make_config("paper").hierarchy
+
+
+@pytest.mark.parametrize("family", ["mcf", "stream", "gcc", "zipf"])
+def test_replay_preserves_set_index_sequence(family, hierarchy):
+    trace = synthetic_trace(family, events=400)
+    workload = TraceReplayWorkload(trace)
+    replayed = record_trace(workload,
+                            exclude_ranges=workload.internal_ranges)
+    for level in GEOMETRIES:
+        config = getattr(hierarchy, level)
+        assert replayed.set_stream(config.n_sets, config.line_bytes) == \
+            trace.set_stream(config.n_sets, config.line_bytes), level
+    assert replayed.footprint_lines() == trace.footprint_lines()
+
+
+def test_pattern_region_sits_above_the_trace_footprint():
+    """The lowering's one artifact (the branch-pattern array) must not
+    collide with any traced line."""
+    trace = synthetic_trace("gcc", events=400)
+    region = pattern_region(trace)
+    assert region is not None
+    start, end = region
+    assert start % 64 == 0
+    assert start > trace.max_address()
+    assert (end - start) // 8 == len(trace.branch_events())
+
+
+def test_branchless_trace_has_no_pattern_region():
+    trace = synthetic_trace("stream", events=120, branch_entropy=0.0)
+    branchless = type(trace)(name="nobranch",
+                             events=trace.memory_events(), meta={})
+    assert pattern_region(branchless) is None
+    workload = TraceReplayWorkload(branchless)
+    assert workload.internal_ranges == ()
+    assert workload.run().halted
+
+
+def test_rounds_replay_the_stream_repeatedly():
+    trace = synthetic_trace("stream", events=150)
+    once = TraceReplayWorkload(trace, rounds=1, name="r1")
+    twice = TraceReplayWorkload(trace, rounds=2, name="r2")
+    rec1 = record_trace(once, exclude_ranges=once.internal_ranges)
+    rec2 = record_trace(twice, exclude_ranges=twice.internal_ranges)
+    mem1 = [(e.kind, e.address) for e in rec1.events if e.is_memory]
+    mem2 = [(e.kind, e.address) for e in rec2.events if e.is_memory]
+    assert mem2 == mem1 * 2
+    # Distinct cache keys: the two programs must not share a build.
+    assert once.cache_key != twice.cache_key

@@ -1,0 +1,61 @@
+"""The trace-pressure finding, pinned end to end.
+
+``trace_pressure_sweep`` exists to show that the *structure* of
+co-runner interference decides whether prime+probe's benign-run
+calibration survives: the mcf-style chase trace (compact node graph +
+arc arrays aliasing the probe entries' set range, densified by the
+co-runner core's own runahead prefetching) floods the calibration
+baseline over the secret's sets, while the streaming trace's contiguous
+low band calibrates away.  Like the Fig. 9 monotonicity and the PR 4
+smt_corunner finding, this is an empirical property of the committed
+constants — re-verify here when retuning generator defaults or gadget
+layout.
+"""
+
+import pytest
+
+from repro.channel.extract import extract_secret
+
+PRESSURE = dict(cores=3, corunner_runahead="original", trials=2, seed=7)
+SECRET = "SC"
+
+
+def test_mcf_trace_defeats_prime_probe_calibration():
+    result = extract_secret(SECRET, receiver="prime-probe",
+                            corunner="trace-mcf", **PRESSURE)
+    assert result.success_rate == 0.0, \
+        f"calibration survived: {result.recovered_text()!r}"
+
+
+def test_streaming_trace_calibrates_away():
+    result = extract_secret(SECRET, receiver="prime-probe",
+                            corunner="trace-stream", **PRESSURE)
+    assert result.success_rate == 1.0
+
+
+def test_reload_channel_only_loses_bandwidth():
+    """A trace co-runner in its own physical window cannot fake a reload
+    hit; flush+reload stays correct under either trace family."""
+    clean = extract_secret(SECRET, receiver="flush-reload", trials=2,
+                           seed=7, cores=2)
+    for corunner in ("trace-mcf", "trace-stream"):
+        pressured = extract_secret(SECRET, receiver="flush-reload",
+                                   corunner=corunner, **PRESSURE)
+        assert pressured.success_rate == 1.0, corunner
+        assert pressured.total_cycles > clean.total_cycles, \
+            "real trace pressure must slow the run (contention)"
+
+
+@pytest.mark.slow
+def test_trace_presets_are_worker_count_invariant():
+    """fig7_traces and trace_pressure_sweep are byte-identical at 1 and
+    4 workers (trace workloads are pure functions of their generator
+    parameters, so their trials shard like every other kind)."""
+    from repro.harness import presets, run_sweep
+
+    for name in ("fig7_traces", "trace_pressure_sweep"):
+        serial = run_sweep(presets.get(name).build(quick=True),
+                           workers=1, cache=None)
+        sharded = run_sweep(presets.get(name).build(quick=True),
+                            workers=4, cache=None)
+        assert serial.to_json() == sharded.to_json(), name
