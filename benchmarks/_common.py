@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pathlib
 
-from repro.harness import run_sweep
+from repro.harness import ProcessPoolExecutor, SerialExecutor
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -40,8 +40,10 @@ def run_preset(preset, benchmark, sweep_opts):
     finishes near-instantly.
     """
     sweep = preset.build(quick=sweep_opts["quick"])
-    result = once(benchmark, lambda: run_sweep(
-        sweep, workers=sweep_opts["workers"]))
+    workers = sweep_opts["workers"]
+    executor = SerialExecutor() if workers == 1 \
+        else ProcessPoolExecutor(workers=workers)
+    result = once(benchmark, lambda: executor.execute(sweep))
     return result
 
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Kill a running campaign, resume it, and verify byte-identity.
+
+A campaign (``repro.campaign``) is a sweep run as a journaled job in a
+self-contained directory: a work-stealing worker pool computes trials,
+every completion is written to the content-addressed cache before it
+is journaled, and ``resume`` re-runs only what is missing.  This
+walkthrough demonstrates the headline guarantee end to end:
+
+1. build a sweep of transient-window trials,
+2. start it as a campaign in a child process and SIGKILL the child
+   at roughly 50% completion,
+3. resume the campaign in this process,
+4. compare the result byte-for-byte against a plain uninterrupted
+   ``run_sweep`` of the same sweep.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import Campaign, campaign_status, render_status
+from repro.harness import run_sweep
+from repro.harness.spec import Sweep, Trial
+
+TRIALS = 60
+
+# The child just opens the directory and runs it; everything it needs
+# to know (trial specs, cache, retry policy) lives in the manifest.
+CHILD = (
+    "import sys\n"
+    "from repro.campaign import Campaign\n"
+    "Campaign.open(sys.argv[1]).run(workers=2)\n"
+)
+
+
+def build_sweep() -> Sweep:
+    return Sweep(
+        name="window_scan",
+        description="transient window vs sled length",
+        trials=[Trial(kind="window",
+                      params={"sled": 512 + 6 * i, "config_base": "small"})
+                for i in range(TRIALS)],
+    )
+
+
+def kill_at_halfway(proc: subprocess.Popen, directory: Path) -> bool:
+    """Poll the journal; SIGKILL the child's process group at ~50%."""
+    journal = directory / "journal.jsonl"
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return False        # finished before we could kill it
+        try:
+            done = journal.read_text().count('"status": "done"')
+        except OSError:
+            done = 0
+        if done >= TRIALS // 2:
+            # Kill the whole group: SIGKILL gives the pool no chance
+            # to clean up its workers, which is exactly the point.
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+            return True
+        time.sleep(0.002)
+    raise RuntimeError("campaign never reached 50%")
+
+
+def main():
+    sweep = build_sweep()
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "campaign"
+        Campaign.create(directory, [sweep], workers=2)
+
+        print(f"launching campaign of {TRIALS} trials, "
+              "SIGKILL at ~50% ...")
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parent.parent / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", CHILD, str(directory)],
+            env=env, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        killed = kill_at_halfway(proc, directory)
+
+        status = campaign_status(directory)
+        print()
+        print(render_status(status))
+        print()
+        if not killed:
+            print("(campaign finished before the kill landed — "
+                  "resume below is then a pure cache replay)")
+
+        print("resuming ...")
+        result = Campaign.open(directory).run(workers=2)[0]
+
+        reference = run_sweep(sweep, workers=1, cache=None)
+        assert result.to_json() == reference.to_json()
+        cached = sum(result.cached)
+        print(f"resume recomputed {TRIALS - cached} trials, "
+              f"reused {cached} from the cache")
+        print("resumed result is byte-identical to an "
+              "uninterrupted run_sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ Try::
 
 import sys
 
-from repro.harness import presets, run_sweep
+from repro.harness import ProcessPoolExecutor, presets
 
 
 def main():
@@ -24,7 +24,8 @@ def main():
     sweep = preset.build(quick=quick)
     print(f"Fig. 7: normalized IPC, no-runahead vs runahead "
           f"({len(sweep)} trials)")
-    result = run_sweep(sweep, progress=lambda line: print(f"  {line}"))
+    result = ProcessPoolExecutor().execute(
+        sweep, progress=lambda line: print(f"  {line}"))
     print()
     print(preset.render(result))
     print()

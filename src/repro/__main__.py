@@ -30,6 +30,17 @@ Subcommands
     synthetic family (``mcf``/``stream``/``gcc``/``zipf``) or a
     ``trace-*`` workload.  Recorded files run anywhere a workload name
     is accepted via ``trace:<path>``.
+``repro campaign run|resume|status|serve``
+    Journaled, resumable campaigns (:mod:`repro.campaign`):
+    ``run <preset...>`` lays down a self-contained campaign directory
+    (manifest + write-ahead journal + its own result store) and
+    executes every trial on a work-stealing worker pool with bounded
+    retries and optional per-trial ``--timeout``; ``resume <dir>``
+    completes an interrupted campaign — skipping everything already
+    cached — with final results byte-identical to an uninterrupted
+    run; ``status <dir>`` reports live progress (trials done/cached/
+    retried, cache hit rate, trials/s, ETA) from the journal only;
+    ``serve <dir>`` exposes the same read-only view over HTTP.
 ``repro report <file.json | preset>``
     Render a previously saved sweep result, or re-render a preset from
     the cache without recomputing anything that is already stored.
@@ -53,14 +64,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
 from .harness import presets as preset_registry
 from .harness.cache import ResultCache, resolve_cache
-from .harness.executor import SweepResult, default_workers, run_sweep
+from .harness.executor import (ProcessPoolExecutor, SerialExecutor,
+                               SweepResult, default_workers)
 from .harness.runner import TrialError
 from .harness.spec import Sweep, Trial
+
+
+def _executor(workers=None):
+    """CLI worker-count handling → an Executor (satellite of the
+    Executor-protocol redesign: the CLI drives executors directly)."""
+    workers = default_workers() if workers is None else max(1, workers)
+    if workers == 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(workers=workers)
 
 
 def _parse_value(text: str) -> Any:
@@ -106,8 +128,9 @@ def _cmd_sweep(args) -> int:
     sweep = preset.build(quick=args.quick)
     progress = None if args.json else (lambda line: print(line,
                                                           file=sys.stderr))
-    result = run_sweep(sweep, workers=args.workers, cache=_cache_arg(args),
-                       force=args.force, progress=progress)
+    result = _executor(args.workers).execute(
+        sweep, cache=_cache_arg(args), force=args.force,
+        progress=progress)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
@@ -294,8 +317,8 @@ def _cmd_report(args) -> int:
         name = result.name
     else:
         preset = preset_registry.get(source)
-        result = run_sweep(preset.build(quick=args.quick), workers=1,
-                           cache=_cache_arg(args))
+        result = SerialExecutor().execute(preset.build(quick=args.quick),
+                                          cache=_cache_arg(args))
         name = source
     preset = preset_registry.get(name)
     print(f"== {preset.title} ==")
@@ -316,6 +339,76 @@ def _cmd_cache(args) -> int:
     print(f"code version : {cache.code_version}")
     print(f"records      : {len(entries)}")
     return 0
+
+
+def _campaign_report(campaign, results) -> None:
+    for result in results:
+        preset = preset_registry.PRESETS.get(result.name)
+        if preset is not None:
+            print(f"== {preset.title} ==")
+            print(preset.render(result))
+            print()
+        print(result.describe())
+
+
+def _cmd_campaign_run(args) -> int:
+    from .campaign import Campaign
+
+    sweeps = [preset_registry.get(name).build(quick=args.quick)
+              for name in args.presets]
+    directory = args.dir or f"campaigns/{'+'.join(args.presets)}"
+    campaign = Campaign.create_or_open(
+        directory, sweeps, cache=args.cache, workers=args.workers,
+        timeout=args.timeout, max_retries=args.retries)
+    progress = lambda line: print(line, file=sys.stderr)   # noqa: E731
+    results = campaign.run(workers=args.workers, progress=progress,
+                           force=args.force, serial=args.serial)
+    if args.json:
+        for result in results:
+            print(result.to_json())
+    else:
+        _campaign_report(campaign, results)
+        print(f"campaign directory: {campaign.directory}")
+    return 0
+
+
+def _cmd_campaign_resume(args) -> int:
+    from .campaign import Campaign
+
+    campaign = Campaign.open(args.dir)
+    progress = lambda line: print(line, file=sys.stderr)   # noqa: E731
+    results = campaign.run(workers=args.workers, progress=progress,
+                           serial=args.serial)
+    if args.json:
+        for result in results:
+            print(result.to_json())
+    else:
+        _campaign_report(campaign, results)
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from .campaign import campaign_status, render_status
+
+    status = campaign_status(args.dir)
+    if args.json:
+        print(json.dumps(status, sort_keys=True, indent=2))
+    else:
+        print(render_status(status))
+    return 0 if status["state"] != "failed" else 1
+
+
+def _cmd_campaign_serve(args) -> int:
+    from .campaign import serve
+
+    serve(args.dir, host=args.host, port=args.port,
+          announce=lambda line: print(line, file=sys.stderr))
+    return 0
+
+
+def _cmd_campaign_help(args) -> int:
+    args.campaign_parser.print_help()
+    return 2
 
 
 def _cmd_bench_perf(args) -> int:
@@ -475,6 +568,73 @@ def build_parser() -> argparse.ArgumentParser:
                              "(mcf/stream/gcc/zipf or trace-<family>)")
     p_info.set_defaults(func=_cmd_trace_info)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="journaled, resumable multi-sweep campaigns "
+             "(run/resume/status/serve)")
+    csub = p_campaign.add_subparsers(dest="campaign_command")
+    p_campaign.set_defaults(func=_cmd_campaign_help,
+                            campaign_parser=p_campaign)
+
+    p_crun = csub.add_parser(
+        "run", help="start (or resume) a campaign of sweep presets")
+    p_crun.add_argument("presets", nargs="+", metavar="preset",
+                        help="one or more sweep preset names")
+    p_crun.add_argument("--dir", default=None,
+                        help="campaign directory "
+                             "(default: campaigns/<presets>)")
+    p_crun.add_argument("--quick", action="store_true",
+                        help="build the reduced smoke-tier grids")
+    p_crun.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: $REPRO_WORKERS)")
+    p_crun.add_argument("--cache", default=None, metavar="URI",
+                        help="campaign result store: dir:<path> or "
+                             "sqlite:<path>, relative paths inside the "
+                             "campaign dir (default: dir:cache)")
+    p_crun.add_argument("--timeout", type=float, default=None,
+                        help="per-trial timeout in seconds "
+                             "(default: none)")
+    p_crun.add_argument("--retries", type=int, default=2,
+                        help="max retries per trial for transient "
+                             "worker failures (default 2)")
+    p_crun.add_argument("--serial", action="store_true",
+                        help="force in-process serial execution")
+    p_crun.add_argument("--force", action="store_true",
+                        help="recompute even on cache hits")
+    p_crun.add_argument("--json", action="store_true",
+                        help="print canonical result JSON instead of "
+                             "reports")
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cresume = csub.add_parser(
+        "resume", help="complete an interrupted campaign")
+    p_cresume.add_argument("dir", help="campaign directory")
+    p_cresume.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default: manifest)")
+    p_cresume.add_argument("--serial", action="store_true",
+                           help="force in-process serial execution")
+    p_cresume.add_argument("--json", action="store_true",
+                           help="print canonical result JSON instead "
+                                "of reports")
+    p_cresume.set_defaults(func=_cmd_campaign_resume)
+
+    p_cstatus = csub.add_parser(
+        "status", help="progress/metrics from the campaign journal")
+    p_cstatus.add_argument("dir", help="campaign directory")
+    p_cstatus.add_argument("--json", action="store_true",
+                           help="print the status object as JSON")
+    p_cstatus.set_defaults(func=_cmd_campaign_status)
+
+    p_cserve = csub.add_parser(
+        "serve", help="read-only HTTP status/result server")
+    p_cserve.add_argument("dir", help="campaign directory")
+    p_cserve.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    p_cserve.add_argument("--port", type=int, default=8008,
+                          help="TCP port, 0 picks a free one "
+                               "(default 8008)")
+    p_cserve.set_defaults(func=_cmd_campaign_serve)
+
     p_report = sub.add_parser(
         "report", help="render a saved sweep result or cached preset")
     p_report.add_argument("source", help="result .json file or preset name")
@@ -516,15 +676,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not getattr(args, "command", None):
         parser.print_help()
         return 2
+    from .campaign.journal import CampaignError
     try:
         return args.func(args)
     except KeyError as exc:
         # Registry/preset lookups raise with a "known: [...]" message.
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
-    except (TrialError, FileNotFoundError) as exc:
+    except (TrialError, CampaignError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pipe reader (`status | head`, `... | jq`) closed
+        # early; exit quietly without letting the interpreter traceback
+        # on the flush of the broken stdout.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,35 @@
+"""Resumable, fault-tolerant campaign engine over the harness.
+
+A campaign runs one or more sweeps as a journaled job in a
+self-contained directory: a work-stealing process pool computes
+trials (bounded retries, per-trial timeouts, serial degradation), a
+write-ahead journal plus the campaign's content-addressed cache make
+it resumable after any crash, and read-only ``status``/``serve``
+views report live progress without touching the simulator.
+
+Typical use::
+
+    from repro.campaign import Campaign, CampaignExecutor
+    from repro.harness import presets
+
+    sweep = presets.get("fig7").build()
+    result = CampaignExecutor("campaigns/fig7", workers=8) \
+        .execute(sweep, cache="auto")
+    # ... SIGKILL at any point, then the same call (or
+    # `repro campaign resume campaigns/fig7`) completes it —
+    # result.to_json() is byte-identical either way.
+
+The CLI surface is ``repro campaign run|resume|status|serve``.
+"""
+
+from .engine import (DEFAULT_BACKOFF, DEFAULT_RETRIES, Campaign,
+                     CampaignExecutor)
+from .journal import CampaignDir, CampaignError
+from .server import make_server, serve
+from .status import campaign_status, render_status
+
+__all__ = [
+    "DEFAULT_BACKOFF", "DEFAULT_RETRIES", "Campaign", "CampaignExecutor",
+    "CampaignDir", "CampaignError", "make_server", "serve",
+    "campaign_status", "render_status",
+]

@@ -1,0 +1,134 @@
+"""Read-only HTTP view of a campaign directory (stdlib only).
+
+``repro campaign serve <dir>`` starts a tiny
+:class:`http.server.ThreadingHTTPServer` that exposes the campaign's
+journal-derived status and its finished reports to any number of
+concurrent readers — without ever importing the simulator or writing
+a byte to the campaign directory.  Endpoints:
+
+``GET /``          index: campaign name, state, endpoint list
+``GET /status``    live status JSON (recomputed per request from the
+                   journal, so it tracks a running campaign)
+``GET /manifest``  the campaign manifest verbatim
+``GET /result/<sweep>``
+                   the canonical ``SweepResult`` JSON of a completed
+                   sweep (404 until that sweep has finished once)
+
+Every response is JSON; the server answers GET/HEAD only.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .journal import CampaignDir, CampaignError
+from .status import campaign_status
+
+
+def _routes(directory):
+    """Route table: path -> () -> (http status, payload object/text)."""
+    cdir = CampaignDir(directory)
+
+    def index() -> Tuple[int, object]:
+        try:
+            status = campaign_status(directory)
+        except CampaignError as exc:
+            return 500, {"error": str(exc)}
+        sweeps = sorted(status["sweeps"])
+        return 200, {
+            "campaign": status["name"],
+            "state": status["state"],
+            "endpoints": ["/status", "/manifest"] +
+                         [f"/result/{name}" for name in sweeps],
+        }
+
+    def status() -> Tuple[int, object]:
+        try:
+            return 200, campaign_status(directory)
+        except CampaignError as exc:
+            return 500, {"error": str(exc)}
+
+    def manifest() -> Tuple[int, object]:
+        try:
+            return 200, cdir.read_manifest()
+        except CampaignError as exc:
+            return 500, {"error": str(exc)}
+
+    def result(sweep_name: str) -> Tuple[int, object]:
+        if "/" in sweep_name or sweep_name in ("", ".", ".."):
+            return 404, {"error": "no such sweep"}
+        text = cdir.read_result(sweep_name)
+        if text is None:
+            return 404, {"error": f"sweep {sweep_name!r} has no result "
+                                  f"yet — still running, or unknown"}
+        return 200, text              # already-canonical JSON, verbatim
+
+    return {"/": index, "/status": status, "/manifest": manifest,
+            "result": result}
+
+
+class CampaignRequestHandler(BaseHTTPRequestHandler):
+    """GET/HEAD-only JSON handler over one campaign directory."""
+
+    server_version = "repro-campaign/1"
+    #: Set by make_server().
+    routes = None
+
+    def log_message(self, fmt, *args):   # keep CLI output clean
+        pass
+
+    def _respond(self, code: int, payload) -> None:
+        body = (payload if isinstance(payload, str)
+                else json.dumps(payload, sort_keys=True, indent=2))
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(data)
+
+    def do_HEAD(self):                   # noqa: N802 (stdlib naming)
+        self.do_GET()
+
+    def do_GET(self):                    # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path.startswith("/result/"):
+            code, payload = self.routes["result"](
+                path[len("/result/"):])
+        elif path in self.routes:
+            code, payload = self.routes[path]()
+        else:
+            code, payload = 404, {"error": f"unknown path {path!r}",
+                                  "endpoints": ["/", "/status",
+                                                "/manifest",
+                                                "/result/<sweep>"]}
+        self._respond(code, payload)
+
+
+def make_server(directory, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Build (but don't start) the status server; ``port=0`` picks a
+    free port — read it back from ``server.server_address``."""
+    handler = type("BoundCampaignHandler", (CampaignRequestHandler,),
+                   {"routes": _routes(directory)})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(directory, host: str = "127.0.0.1", port: int = 8008,
+          announce=None) -> None:
+    """Run the status server until interrupted (CLI entry point)."""
+    server = make_server(directory, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    if announce:
+        announce(f"serving campaign {directory} on "
+                 f"http://{bound_host}:{bound_port} "
+                 f"(endpoints: /status /manifest /result/<sweep>)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

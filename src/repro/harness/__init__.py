@@ -18,9 +18,13 @@ cached on disk keyed by trial spec + code fingerprint
 from . import presets
 from .aggregate import (attack_cell, attack_matrix, geomean,
                         geometric_mean_speedup, ipc_table, speedup_bars)
-from .cache import (CACHE_DIR_ENV, CACHE_DISABLE_ENV, ResultCache,
-                    code_fingerprint, default_cache_dir, resolve_cache)
-from .executor import SweepResult, default_workers, run_sweep
+from .cache import (CACHE_DIR_ENV, CACHE_DISABLE_ENV, CacheBackend,
+                    DirectoryCacheBackend, ResultCache,
+                    SqliteCacheBackend, code_fingerprint,
+                    default_cache_dir, resolve_cache)
+from .executor import (Executor, ProcessPoolExecutor, SerialExecutor,
+                       SweepResult, default_workers, make_record,
+                       run_sweep)
 from .registry import (CONTROLLERS, get_workload, make_config,
                        make_controller, workloads)
 from .runner import TrialError, run_trial
@@ -29,9 +33,11 @@ from .spec import Sweep, Trial, canonical_json, stable_seed
 __all__ = [
     "presets", "attack_cell", "attack_matrix", "geomean",
     "geometric_mean_speedup", "ipc_table", "speedup_bars",
-    "CACHE_DIR_ENV", "CACHE_DISABLE_ENV", "ResultCache",
+    "CACHE_DIR_ENV", "CACHE_DISABLE_ENV", "CacheBackend",
+    "DirectoryCacheBackend", "ResultCache", "SqliteCacheBackend",
     "code_fingerprint", "default_cache_dir", "resolve_cache",
-    "SweepResult", "default_workers", "run_sweep", "CONTROLLERS",
+    "Executor", "ProcessPoolExecutor", "SerialExecutor", "SweepResult",
+    "default_workers", "make_record", "run_sweep", "CONTROLLERS",
     "get_workload", "make_config", "make_controller", "workloads",
     "TrialError", "run_trial", "Sweep", "Trial", "canonical_json",
     "stable_seed",

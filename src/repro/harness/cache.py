@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed result cache behind a pluggable backend API.
 
 Cache key = SHA-256 of (trial spec canonical JSON, code fingerprint,
 external-input digests).  The code fingerprint hashes every ``.py``
@@ -12,17 +12,31 @@ invalidation for free.  The one way a trial can reference data
 hashed into the key, so re-recording a trace invalidates exactly the
 trials that replay it.
 
-Records are JSON files under ``<root>/<key[:2]>/<key>.json`` so a CI
-cache restore is a plain directory copy.  The default root is
-``$REPRO_CACHE_DIR`` or ``~/.cache/repro-specrun``.
+Storage is a :class:`CacheBackend`:
+
+* :class:`DirectoryCacheBackend` (the historical layout, also exported
+  as ``ResultCache``) keeps one JSON file per record under
+  ``<root>/<key[:2]>/<key>.json`` so a CI cache restore is a plain
+  directory copy.  The default root is ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro-specrun``.
+* :class:`SqliteCacheBackend` packs every record into one SQLite file —
+  a single artifact to ship around, and the natural store for
+  :mod:`repro.campaign` runs that want their whole state in one
+  directory.
+
+``resolve_cache`` turns user-facing cache arguments into backends and
+understands ``dir:<path>`` / ``sqlite:<path>`` URIs; every backend
+reports its own URI via :meth:`CacheBackend.uri`.
 """
 
 from __future__ import annotations
 
+import abc
 import hashlib
 import json
 import os
 import pathlib
+import sqlite3
 from functools import lru_cache
 from typing import Any, Dict, Optional
 
@@ -82,20 +96,32 @@ def _external_digests(paths) -> Dict[str, str]:
     return digests
 
 
-class ResultCache:
+class CacheBackend(abc.ABC):
     """Maps trial specs to stored result records.
 
-    ``get``/``put`` never raise on I/O problems — a broken cache entry
-    or an unwritable directory degrades to a miss, because the cache
-    must never change experiment outcomes.
+    The public surface every backend implements identically:
+    ``get``/``put``/``contains``/``evict``/``stats`` (plus ``clear``
+    and ``uri``).  ``get``/``put`` never raise on I/O problems — a
+    broken record or an unwritable store degrades to a miss, because
+    the cache must never change experiment outcomes.  Keying is shared
+    (:meth:`key`): identical trials hit the same record in any backend.
+
+    Subclasses provide only the raw record storage:
+    :meth:`_load` / :meth:`_store` / :meth:`_exists` / :meth:`_delete` /
+    :meth:`count` / :meth:`clear` — none of which may raise.
     """
 
-    def __init__(self, root: Optional[pathlib.Path] = None,
-                 code_version: Optional[str] = None):
-        self.root = pathlib.Path(root) if root else default_cache_dir()
+    #: URI scheme of the backend (``dir`` / ``sqlite``).
+    scheme = "?"
+
+    def __init__(self, code_version: Optional[str] = None):
         self.code_version = code_version or code_fingerprint()
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    # -------------------------------------------------------- keying
 
     def key(self, trial: Trial) -> str:
         payload_dict = {"code": self.code_version,
@@ -106,19 +132,13 @@ class ResultCache:
         payload = canonical_json(payload_dict)
         return hashlib.sha256(payload.encode()).hexdigest()
 
-    def _path(self, key: str) -> pathlib.Path:
-        return self.root / key[:2] / f"{key}.json"
+    # ------------------------------------------------ public surface
 
     def get(self, trial: Trial) -> Optional[Dict[str, Any]]:
         """Return the cached result payload for this trial, or None."""
-        path = self._path(self.key(trial))
-        try:
-            with open(path, encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        if record.get("version") != _RECORD_VERSION:
+        record = self._load(self.key(trial))
+        if record is None or record.get("version") != _RECORD_VERSION \
+                or "result" not in record:
             self.misses += 1
             return None
         self.hits += 1
@@ -126,7 +146,6 @@ class ResultCache:
 
     def put(self, trial: Trial, result: Dict[str, Any]) -> None:
         key = self.key(trial)
-        path = self._path(key)
         record = {
             "version": _RECORD_VERSION,
             "key": key,
@@ -134,6 +153,99 @@ class ResultCache:
             "trial": trial.to_dict(),
             "result": result,
         }
+        self._store(key, record)
+        self.puts += 1
+
+    def contains(self, trial: Trial) -> bool:
+        """True when a record for this trial exists (no hit/miss count)."""
+        return self._exists(self.key(trial))
+
+    def evict(self, trial: Trial) -> bool:
+        """Drop one trial's record; True when something was removed."""
+        removed = self._delete(self.key(trial))
+        if removed:
+            self.evictions += 1
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters + store-wide figures, JSON-ready (for ``status``)."""
+        lookups = self.hits + self.misses
+        return {
+            "backend": self.scheme,
+            "uri": self.uri(),
+            "records": self.count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    def describe(self) -> str:
+        return (f"cache {self.uri()} (code {self.code_version[:12]}): "
+                f"{self.hits} hits, {self.misses} misses")
+
+    @abc.abstractmethod
+    def uri(self) -> str:
+        """``<scheme>:<location>`` string accepted by resolve_cache."""
+
+    # ------------------------------------------------- storage hooks
+
+    @abc.abstractmethod
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Raw record for a key, or None (never raises)."""
+
+    @abc.abstractmethod
+    def _store(self, key: str, record: Dict[str, Any]) -> None:
+        """Persist a record (never raises; failure degrades to a miss)."""
+
+    @abc.abstractmethod
+    def _exists(self, key: str) -> bool:
+        """True when a record is present (never raises)."""
+
+    @abc.abstractmethod
+    def _delete(self, key: str) -> bool:
+        """Remove one record; True when it existed (never raises)."""
+
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Number of stored records (never raises)."""
+
+    @abc.abstractmethod
+    def clear(self) -> int:
+        """Delete every record; returns the count removed."""
+
+
+class DirectoryCacheBackend(CacheBackend):
+    """One JSON file per record under ``<root>/<key[:2]>/<key>.json``.
+
+    Byte-compatible with the historical ``ResultCache`` layout: records
+    written by either spelling are interchangeable, and a CI cache
+    restore stays a plain directory copy.
+    """
+
+    scheme = "dir"
+
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 code_version: Optional[str] = None):
+        super().__init__(code_version=code_version)
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+
+    def uri(self) -> str:
+        return f"dir:{self.root}"
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def _store(self, key: str, record: Dict[str, Any]) -> None:
+        path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
@@ -143,8 +255,25 @@ class ResultCache:
         except OSError:
             pass
 
+    def _exists(self, key: str) -> bool:
+        try:
+            return self._path(key).is_file()
+        except OSError:
+            return False
+
+    def _delete(self, key: str) -> bool:
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
     def clear(self) -> int:
-        """Delete every record under the cache root; returns the count."""
         removed = 0
         if not self.root.exists():
             return removed
@@ -156,24 +285,113 @@ class ResultCache:
                 pass
         return removed
 
-    def describe(self) -> str:
-        return (f"cache {self.root} (code {self.code_version[:12]}): "
-                f"{self.hits} hits, {self.misses} misses")
+
+#: Historical name of the directory backend (public API since PR 1).
+ResultCache = DirectoryCacheBackend
 
 
-def resolve_cache(cache="auto") -> Optional[ResultCache]:
-    """Turn the executor's ``cache`` argument into a ResultCache or None.
+class SqliteCacheBackend(CacheBackend):
+    """Every record in one SQLite file — a single shippable artifact.
 
-    "auto" builds the default cache unless ``$REPRO_NO_CACHE=1``;
-    ``None``/False disables; an existing :class:`ResultCache` passes
-    through; a path-like builds a cache rooted there.
+    A fresh connection is opened per operation, so instances survive
+    ``fork`` into campaign worker processes (which never touch the
+    cache anyway — all cache I/O happens in the parent) and never hold
+    the file locked between calls.
+    """
+
+    scheme = "sqlite"
+
+    def __init__(self, path: Optional[pathlib.Path] = None,
+                 code_version: Optional[str] = None):
+        super().__init__(code_version=code_version)
+        self.path = pathlib.Path(path) if path \
+            else default_cache_dir() / "results.sqlite"
+
+    def uri(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def _run(self, fn, default):
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=10.0)
+            try:
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS records ("
+                    "key TEXT PRIMARY KEY, record TEXT NOT NULL)")
+                out = fn(conn)
+                conn.commit()
+                return out
+            finally:
+                conn.close()
+        except (sqlite3.Error, OSError, ValueError):
+            return default
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        def fetch(conn):
+            row = conn.execute(
+                "SELECT record FROM records WHERE key = ?",
+                (key,)).fetchone()
+            return json.loads(row[0]) if row else None
+        return self._run(fetch, None)
+
+    def _store(self, key: str, record: Dict[str, Any]) -> None:
+        text = json.dumps(record, sort_keys=True)
+        self._run(lambda conn: conn.execute(
+            "INSERT OR REPLACE INTO records (key, record) VALUES (?, ?)",
+            (key, text)), None)
+
+    def _exists(self, key: str) -> bool:
+        return self._run(
+            lambda conn: conn.execute(
+                "SELECT 1 FROM records WHERE key = ?",
+                (key,)).fetchone() is not None,
+            False)
+
+    def _delete(self, key: str) -> bool:
+        return self._run(
+            lambda conn: conn.execute(
+                "DELETE FROM records WHERE key = ?", (key,)).rowcount > 0,
+            False)
+
+    def count(self) -> int:
+        return self._run(
+            lambda conn: conn.execute(
+                "SELECT COUNT(*) FROM records").fetchone()[0],
+            0)
+
+    def clear(self) -> int:
+        def wipe(conn):
+            (n,) = conn.execute("SELECT COUNT(*) FROM records").fetchone()
+            conn.execute("DELETE FROM records")
+            return n
+        return self._run(wipe, 0)
+
+
+def resolve_cache(cache="auto") -> Optional[CacheBackend]:
+    """Turn a user-facing ``cache`` argument into a backend or None.
+
+    * ``None``/``False`` disables caching;
+    * an existing :class:`CacheBackend` passes through;
+    * ``"auto"`` builds the default directory backend unless
+      ``$REPRO_NO_CACHE=1``;
+    * ``"dir:<path>"`` / ``"sqlite:<path>"`` URIs pick a backend
+      explicitly;
+    * any other path-like builds a directory backend rooted there
+      (the historical behaviour).
     """
     if cache is None or cache is False:
         return None
-    if isinstance(cache, ResultCache):
+    if isinstance(cache, CacheBackend):
         return cache
     if cache == "auto":
         if os.environ.get(CACHE_DISABLE_ENV) == "1":
             return None
-        return ResultCache()
-    return ResultCache(root=pathlib.Path(cache))
+        return DirectoryCacheBackend()
+    if isinstance(cache, str):
+        if cache.startswith("dir:"):
+            return DirectoryCacheBackend(
+                root=pathlib.Path(cache[len("dir:"):]))
+        if cache.startswith("sqlite:"):
+            return SqliteCacheBackend(
+                path=pathlib.Path(cache[len("sqlite:"):]))
+    return DirectoryCacheBackend(root=pathlib.Path(cache))

@@ -1,42 +1,70 @@
-"""Sharded sweep execution with deterministic, ordered results.
+"""Sweep execution behind a pluggable :class:`Executor` API.
 
-``run_sweep`` fans cache-missing trials out across ``multiprocessing``
-workers and reassembles results **in trial order**, so the aggregated
-output of a sweep is byte-identical no matter how many workers ran it
-(or how the OS scheduled them).  Each trial is self-contained — the
-worker resolves names to fresh simulator objects via the registry, and
-the simulator itself is fully deterministic — so sharding cannot change
-any measurement.  (A trial's ``seed`` is part of its spec and cache
-key, reserved for future stochastic workloads; current runners don't
+An executor turns a :class:`~repro.harness.spec.Sweep` into a
+:class:`SweepResult` with results **in trial order**, so the aggregated
+output of a sweep is byte-identical no matter which executor ran it or
+how many workers it used.  Each trial is self-contained — the worker
+resolves names to fresh simulator objects via the registry, and the
+simulator itself is fully deterministic — so sharding cannot change any
+measurement.  (A trial's ``seed`` is part of its spec and cache key,
+reserved for future stochastic workloads; current runners don't
 consume it.)
+
+Three executors ship today:
+
+* :class:`SerialExecutor` — everything inline, no processes;
+* :class:`ProcessPoolExecutor` — the classic ``multiprocessing`` pool
+  fan-out (byte-identical to the serial path by construction);
+* :class:`repro.campaign.CampaignExecutor` — journaled, resumable,
+  work-stealing execution for large campaigns (crash resume, retries,
+  per-trial timeouts, live status).
+
+``run_sweep`` remains the convenience entry point: it picks a serial or
+pool executor from the ``workers`` argument exactly as it always has.
 
 All cache I/O happens in the parent process: workers only compute.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .cache import ResultCache, resolve_cache
+from .cache import CacheBackend, resolve_cache
 from .runner import TrialError, run_trial
 from .spec import Sweep, Trial
 
 #: Environment variable providing the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
+_warned_bad_workers = False
+
 
 def default_workers() -> int:
+    """Worker count from ``$REPRO_WORKERS``, else ``min(4, cpus)``.
+
+    A malformed value warns once and falls back to the default — it is
+    never silently ignored (and never re-parsed downstream: callers get
+    a valid int from here, full stop).
+    """
+    global _warned_bad_workers
     env = os.environ.get(WORKERS_ENV)
     if env:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            if not _warned_bad_workers:
+                _warned_bad_workers = True
+                warnings.warn(
+                    f"ignoring malformed {WORKERS_ENV}={env!r} "
+                    f"(expected an integer); using the default worker "
+                    f"count", RuntimeWarning, stacklevel=2)
     return min(4, os.cpu_count() or 1)
 
 
@@ -47,7 +75,7 @@ class SweepResult:
     ``records[i]`` corresponds to ``sweep.trials[i]`` and contains the
     deterministic payload only; volatile run metadata (cache hits,
     wall-clock) lives on the result object itself so ``to_json`` stays
-    byte-stable across runs and worker counts.
+    byte-stable across runs, executors and worker counts.
     """
 
     name: str
@@ -126,13 +154,102 @@ class SweepResult:
                 f"{self.workers} worker(s), {self.elapsed:.2f}s")
 
 
-def _make_record(trial: Trial, result: Dict[str, Any]) -> Dict[str, Any]:
+def make_record(trial: Trial, result: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic per-trial record every executor must emit."""
     return {"kind": trial.kind, "label": trial.label,
             "params": trial.params, "seed": trial.seed,
             "spec_hash": trial.spec_hash(), "result": result}
 
 
-def _worker(payload: Tuple[int, Dict[str, Any]]) \
+_make_record = make_record
+
+
+@dataclass
+class _Plan:
+    """Cache-scan outcome shared by every executor: what is already
+    served and what still needs computing."""
+
+    sweep: Sweep
+    store: Optional[CacheBackend]
+    records: List[Optional[Dict[str, Any]]]
+    cached_flags: List[bool]
+    pending: List[Tuple[int, Trial]]
+    say: Callable[[str], None]
+
+    def finish(self, index: int, trial: Trial, result: Dict[str, Any]):
+        self.records[index] = make_record(trial, result)
+        if self.store is not None:
+            self.store.put(trial, result)
+        self.say(f"[{index + 1}/{len(self.sweep.trials)}] "
+                 f"{trial.label}: done")
+
+
+def plan_sweep(sweep: Sweep, cache="auto", force: bool = False,
+               progress: Optional[Callable[[str], None]] = None) -> _Plan:
+    """Scan the cache and split a sweep into served + pending trials."""
+    store = resolve_cache(cache)
+    say = progress or (lambda line: None)
+    records: List[Optional[Dict[str, Any]]] = [None] * len(sweep.trials)
+    cached_flags = [False] * len(sweep.trials)
+    pending: List[Tuple[int, Trial]] = []
+    for index, trial in enumerate(sweep.trials):
+        hit = None if (store is None or force) else store.get(trial)
+        if hit is not None:
+            records[index] = make_record(trial, hit)
+            cached_flags[index] = True
+            say(f"[{index + 1}/{len(sweep.trials)}] {trial.label}: cached")
+        else:
+            pending.append((index, trial))
+    return _Plan(sweep=sweep, store=store, records=records,
+                 cached_flags=cached_flags, pending=pending, say=say)
+
+
+def _seal(plan: _Plan, workers: int, started: float) -> SweepResult:
+    return SweepResult(
+        name=plan.sweep.name,
+        records=[r for r in plan.records if r is not None],
+        cached=plan.cached_flags,
+        workers=workers,
+        elapsed=time.monotonic() - started,
+        cache_hits=plan.store.hits if plan.store else 0,
+        cache_misses=len(plan.pending))
+
+
+class Executor(abc.ABC):
+    """Strategy for running a sweep's trials.
+
+    The contract every implementation must honour:
+
+    * ``execute(sweep, cache) -> SweepResult`` with ``records`` in
+      trial order, **byte-identical** (``to_json``) to a serial run;
+    * cache reads/writes happen in the calling process only;
+    * a deterministic trial failure surfaces as
+      :class:`~repro.harness.runner.TrialError`.
+    """
+
+    @abc.abstractmethod
+    def execute(self, sweep: Sweep, cache="auto", force: bool = False,
+                progress: Optional[Callable[[str], None]] = None) \
+            -> SweepResult:
+        """Run every trial; return ordered results."""
+
+
+class SerialExecutor(Executor):
+    """Everything inline in the calling process — the reference
+    semantics all other executors must reproduce byte-for-byte."""
+
+    def execute(self, sweep: Sweep, cache="auto", force: bool = False,
+                progress: Optional[Callable[[str], None]] = None) \
+            -> SweepResult:
+        started = time.monotonic()
+        plan = plan_sweep(sweep, cache=cache, force=force,
+                          progress=progress)
+        for index, trial in plan.pending:
+            plan.finish(index, trial, run_trial(trial))
+        return _seal(plan, workers=1, started=started)
+
+
+def _pool_worker(payload: Tuple[int, Dict[str, Any]]) \
         -> Tuple[int, Optional[Dict[str, Any]], Optional[str]]:
     index, trial_dict = payload
     try:
@@ -141,11 +258,55 @@ def _worker(payload: Tuple[int, Dict[str, Any]]) \
         return index, None, f"{type(exc).__name__}: {exc}"
 
 
+_worker = _pool_worker
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan cache-missing trials out across a ``multiprocessing`` pool.
+
+    Results are reassembled in trial order, so the output is
+    byte-identical to :class:`SerialExecutor` at any worker count.
+    With one worker (or at most one pending trial) it runs inline —
+    no pool is spawned for work that cannot be parallelised.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = default_workers() if workers is None \
+            else max(1, workers)
+
+    def execute(self, sweep: Sweep, cache="auto", force: bool = False,
+                progress: Optional[Callable[[str], None]] = None) \
+            -> SweepResult:
+        started = time.monotonic()
+        plan = plan_sweep(sweep, cache=cache, force=force,
+                          progress=progress)
+        if len(plan.pending) <= 1 or self.workers == 1:
+            for index, trial in plan.pending:
+                plan.finish(index, trial, run_trial(trial))
+        else:
+            by_index = {index: trial for index, trial in plan.pending}
+            jobs = [(index, trial.to_dict())
+                    for index, trial in plan.pending]
+            procs = min(self.workers, len(plan.pending))
+            with multiprocessing.Pool(processes=procs) as pool:
+                for index, result, error in pool.imap_unordered(
+                        _pool_worker, jobs, chunksize=1):
+                    if error is not None:
+                        pool.terminate()
+                        raise TrialError(
+                            f"trial {by_index[index].label!r} failed in "
+                            f"worker: {error}")
+                    plan.finish(index, by_index[index], result)
+        return _seal(plan, workers=self.workers, started=started)
+
+
 def run_sweep(sweep: Sweep, workers: Optional[int] = None, cache="auto",
               force: bool = False,
               progress: Optional[Callable[[str], None]] = None) \
         -> SweepResult:
-    """Execute every trial of ``sweep``; results come back in trial order.
+    """Execute every trial of ``sweep``; results come back in trial
+    order.  Thin wrapper that picks an :class:`Executor` from
+    ``workers`` — the stable entry point since PR 1.
 
     Parameters
     ----------
@@ -154,59 +315,16 @@ def run_sweep(sweep: Sweep, workers: Optional[int] = None, cache="auto",
         ``$REPRO_WORKERS`` (default: min(4, cpu count)); 1 runs inline.
     cache:
         "auto" (default on-disk cache, honouring ``$REPRO_NO_CACHE``),
-        ``None`` to disable, a :class:`ResultCache`, or a directory path.
+        ``None`` to disable, a :class:`CacheBackend`, a directory path,
+        or a ``dir:<path>`` / ``sqlite:<path>`` URI.
     force:
         Recompute every trial even on a cache hit (fresh results are
         still written back).
     progress:
         Optional callable receiving one line per trial state change.
     """
-    started = time.monotonic()
     workers = default_workers() if workers is None else max(1, workers)
-    store: Optional[ResultCache] = resolve_cache(cache)
-    say = progress or (lambda line: None)
-
-    records: List[Optional[Dict[str, Any]]] = [None] * len(sweep.trials)
-    cached_flags = [False] * len(sweep.trials)
-    pending: List[Tuple[int, Trial]] = []
-
-    for index, trial in enumerate(sweep.trials):
-        hit = None if (store is None or force) else store.get(trial)
-        if hit is not None:
-            records[index] = _make_record(trial, hit)
-            cached_flags[index] = True
-            say(f"[{index + 1}/{len(sweep.trials)}] {trial.label}: cached")
-        else:
-            pending.append((index, trial))
-
-    def finish(index: int, trial: Trial, result: Dict[str, Any]):
-        records[index] = _make_record(trial, result)
-        if store is not None:
-            store.put(trial, result)
-        say(f"[{index + 1}/{len(sweep.trials)}] {trial.label}: done")
-
-    if len(pending) <= 1 or workers == 1:
-        for index, trial in pending:
-            finish(index, trial, run_trial(trial))
-    else:
-        by_index = {index: trial for index, trial in pending}
-        jobs = [(index, trial.to_dict()) for index, trial in pending]
-        procs = min(workers, len(pending))
-        with multiprocessing.Pool(processes=procs) as pool:
-            for index, result, error in pool.imap_unordered(
-                    _worker, jobs, chunksize=1):
-                if error is not None:
-                    pool.terminate()
-                    raise TrialError(
-                        f"trial {by_index[index].label!r} failed in "
-                        f"worker: {error}")
-                finish(index, by_index[index], result)
-
-    return SweepResult(
-        name=sweep.name,
-        records=[r for r in records if r is not None],
-        cached=cached_flags,
-        workers=workers,
-        elapsed=time.monotonic() - started,
-        cache_hits=store.hits if store else 0,
-        cache_misses=len(pending))
+    executor: Executor = SerialExecutor() if workers == 1 \
+        else ProcessPoolExecutor(workers=workers)
+    return executor.execute(sweep, cache=cache, force=force,
+                            progress=progress)

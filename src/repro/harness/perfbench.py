@@ -99,11 +99,13 @@ def measure_fig7_quick(workers: int = 1) -> Dict:
     sweep that every CI run and local iteration waits on.
     """
     from . import presets as preset_registry
-    from .executor import run_sweep
+    from .executor import ProcessPoolExecutor, SerialExecutor
 
     sweep = preset_registry.get("fig7").build(quick=True)
+    executor = SerialExecutor() if workers == 1 \
+        else ProcessPoolExecutor(workers=workers)
     start = time.perf_counter()
-    result = run_sweep(sweep, workers=workers, cache=None)
+    result = executor.execute(sweep, cache=None)
     wall = time.perf_counter() - start
     return {
         "preset": "fig7 --quick",

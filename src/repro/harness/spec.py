@@ -144,6 +144,17 @@ class Sweep:
             sweep.add(kind, **params)
         return sweep
 
+    def signature(self) -> str:
+        """Content hash of the ordered trial specs (name excluded).
+
+        Two sweeps with identical trials in identical order share a
+        signature regardless of how they were built — this is what a
+        campaign manifest pins, so ``resume`` can verify it is
+        completing the same experiment it started.
+        """
+        payload = canonical_json([t.canonical() for t in self.trials])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
     def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "description": self.description,
                 "trials": [t.to_dict() for t in self.trials]}

@@ -1,0 +1,187 @@
+"""Backend-conformance suite: every CacheBackend behaves identically.
+
+The same battery runs against the directory and sqlite backends —
+anything observable through the public surface (get/put/contains/
+evict/stats/clear/count/uri) must not depend on the storage scheme.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cache import (CacheBackend, DirectoryCacheBackend,
+                                 ResultCache, SqliteCacheBackend,
+                                 resolve_cache)
+from repro.harness.spec import Trial
+
+
+def make_trial(sled=64) -> Trial:
+    return Trial("window", {"runahead": "none", "sled": sled,
+                            "config_base": "small"})
+
+
+@pytest.fixture(params=["dir", "sqlite"])
+def backend(request, tmp_path) -> CacheBackend:
+    if request.param == "dir":
+        return DirectoryCacheBackend(root=tmp_path / "cache",
+                                     code_version="v1")
+    return SqliteCacheBackend(path=tmp_path / "cache.sqlite",
+                              code_version="v1")
+
+
+class TestConformance:
+    def test_round_trip(self, backend):
+        trial = make_trial()
+        assert backend.get(trial) is None
+        backend.put(trial, {"window": 42})
+        assert backend.get(trial) == {"window": 42}
+
+    def test_contains_does_not_touch_counters(self, backend):
+        trial = make_trial()
+        assert not backend.contains(trial)
+        backend.put(trial, {"ok": True})
+        assert backend.contains(trial)
+        assert backend.hits == backend.misses == 0
+
+    def test_counters(self, backend):
+        trial = make_trial()
+        backend.get(trial)                      # miss
+        backend.put(trial, {"ok": True})
+        backend.get(trial)                      # hit
+        backend.evict(trial)
+        stats = backend.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["evictions"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["backend"] == backend.scheme
+        assert stats["uri"] == backend.uri()
+
+    def test_evict(self, backend):
+        trial = make_trial()
+        assert not backend.evict(trial)
+        backend.put(trial, {"ok": True})
+        assert backend.evict(trial)
+        assert backend.get(trial) is None
+
+    def test_count_and_clear(self, backend):
+        for sled in (8, 16, 24):
+            backend.put(make_trial(sled), {"sled": sled})
+        assert backend.count() == 3
+        assert backend.clear() == 3
+        assert backend.count() == 0
+        assert backend.get(make_trial(8)) is None
+
+    def test_put_overwrites(self, backend):
+        trial = make_trial()
+        backend.put(trial, {"v": 1})
+        backend.put(trial, {"v": 2})
+        assert backend.get(trial) == {"v": 2}
+        assert backend.count() == 1
+
+    def test_distinct_trials_distinct_records(self, backend):
+        backend.put(make_trial(8), {"sled": 8})
+        backend.put(make_trial(16), {"sled": 16})
+        assert backend.get(make_trial(8)) == {"sled": 8}
+        assert backend.get(make_trial(16)) == {"sled": 16}
+
+    def test_key_is_shared_across_backends(self, backend, tmp_path):
+        other = DirectoryCacheBackend(root=tmp_path / "other",
+                                      code_version="v1")
+        assert backend.key(make_trial()) == other.key(make_trial())
+
+    def test_code_version_partitions_keys(self, backend, tmp_path):
+        other = SqliteCacheBackend(path=tmp_path / "other.sqlite",
+                                   code_version="v2")
+        assert backend.key(make_trial()) != other.key(make_trial())
+
+    def test_uri_round_trips_through_resolve_cache(self, backend):
+        trial = make_trial()
+        backend.put(trial, {"ok": True})
+        reopened = resolve_cache(backend.uri())
+        reopened.code_version = "v1"
+        assert reopened.get(trial) == {"ok": True}
+        assert reopened.uri() == backend.uri()
+
+
+class TestCorruptionResilience:
+    """A broken store degrades to a miss — never an exception."""
+
+    def test_corrupt_directory_record(self, tmp_path):
+        backend = DirectoryCacheBackend(root=tmp_path, code_version="v1")
+        trial = make_trial()
+        backend.put(trial, {"ok": True})
+        backend._path(backend.key(trial)).write_text("{garbage",
+                                                     encoding="utf-8")
+        assert backend.get(trial) is None
+
+    def test_corrupt_sqlite_file(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        path.write_bytes(b"this is not a database")
+        backend = SqliteCacheBackend(path=path, code_version="v1")
+        trial = make_trial()
+        assert backend.get(trial) is None
+        backend.put(trial, {"ok": True})     # silently degrades
+        assert backend.count() == 0
+
+    def test_wrong_record_version_is_a_miss(self, tmp_path):
+        backend = DirectoryCacheBackend(root=tmp_path, code_version="v1")
+        trial = make_trial()
+        backend.put(trial, {"ok": True})
+        path = backend._path(backend.key(trial))
+        record = json.loads(path.read_text())
+        record["version"] = 999
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert backend.get(trial) is None
+
+
+class TestResolveCache:
+    def test_none_and_false_disable(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_backend_passthrough(self, tmp_path):
+        backend = SqliteCacheBackend(path=tmp_path / "x.sqlite",
+                                     code_version="v1")
+        assert resolve_cache(backend) is backend
+
+    def test_dir_uri(self, tmp_path):
+        backend = resolve_cache(f"dir:{tmp_path / 'store'}")
+        assert isinstance(backend, DirectoryCacheBackend)
+        assert backend.root == tmp_path / "store"
+
+    def test_sqlite_uri(self, tmp_path):
+        backend = resolve_cache(f"sqlite:{tmp_path / 'store.sqlite'}")
+        assert isinstance(backend, SqliteCacheBackend)
+        assert backend.path == tmp_path / "store.sqlite"
+
+    def test_plain_path_is_directory_backend(self, tmp_path):
+        backend = resolve_cache(str(tmp_path / "legacy"))
+        assert isinstance(backend, DirectoryCacheBackend)
+        assert backend.root == tmp_path / "legacy"
+
+    def test_auto_honours_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert resolve_cache("auto") is None
+
+    def test_result_cache_alias_is_the_directory_backend(self):
+        assert ResultCache is DirectoryCacheBackend
+
+
+class TestDirectoryLayout:
+    """The historical on-disk layout is part of the public contract
+    (CI cache restores are plain directory copies)."""
+
+    def test_record_path_shape(self, tmp_path):
+        backend = DirectoryCacheBackend(root=tmp_path, code_version="v1")
+        trial = make_trial()
+        backend.put(trial, {"ok": True})
+        key = backend.key(trial)
+        path = tmp_path / key[:2] / f"{key}.json"
+        assert path.is_file()
+        record = json.loads(path.read_text())
+        assert record["version"] == 1
+        assert record["key"] == key
+        assert record["result"] == {"ok": True}
+        assert record["trial"] == trial.to_dict()

@@ -153,6 +153,65 @@ class TestCacheCommand:
         assert "removed 1" in capsys.readouterr().out
 
 
+class TestCampaignCommand:
+    def test_run_status_resume_cycle(self, capsys, tmp_path):
+        cdir = str(tmp_path / "camp")
+        assert main(["campaign", "run", "fig12", "--dir", cdir,
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign directory:" in out
+
+        assert main(["campaign", "status", cdir]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "1/1 trials" in out
+
+        # Resuming a finished campaign is a no-op served from cache.
+        assert main(["campaign", "resume", cdir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "fig12"
+        assert len(payload["records"]) == 1
+
+    def test_status_json(self, capsys, tmp_path):
+        cdir = str(tmp_path / "camp")
+        assert main(["campaign", "run", "fig12", "--dir", cdir,
+                     "--workers", "1", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", cdir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["state"] == "finished"
+        assert status["completed"] == 1
+
+    def test_sqlite_cache_uri(self, capsys, tmp_path):
+        cdir = tmp_path / "camp"
+        assert main(["campaign", "run", "fig12", "--dir", str(cdir),
+                     "--workers", "1", "--cache",
+                     "sqlite:results.sqlite", "--json"]) == 0
+        assert (cdir / "results.sqlite").is_file()
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 1
+
+    def test_status_of_missing_campaign_errors(self, capsys, tmp_path):
+        assert main(["campaign", "status",
+                     str(tmp_path / "nothing")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_rerun_with_different_presets_errors(self, capsys, tmp_path):
+        cdir = str(tmp_path / "camp")
+        assert main(["campaign", "run", "fig12", "--dir", cdir,
+                     "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "fig10", "--dir", cdir,
+                     "--quick", "--workers", "1"]) == 1
+        assert "different campaign" in capsys.readouterr().err
+
+    def test_campaign_without_subcommand_prints_help(self, capsys):
+        assert main(["campaign"]) == 2
+        out = capsys.readouterr().out
+        for sub in ("run", "resume", "status", "serve"):
+            assert sub in out
+
+
 def test_no_command_prints_help(capsys):
     assert main([]) == 2
     assert "sweep" in capsys.readouterr().out

@@ -8,7 +8,9 @@ for paper-scale simulations.
 import pytest
 
 from repro.harness.cache import ResultCache
-from repro.harness.executor import SweepResult, run_sweep
+from repro.harness.executor import (Executor, ProcessPoolExecutor,
+                                    SerialExecutor, SweepResult,
+                                    default_workers, run_sweep)
 from repro.harness.runner import TrialError, run_trial
 from repro.harness.spec import Sweep, Trial
 
@@ -94,6 +96,70 @@ class TestFailures:
         trial.kind = "bogus"   # bypass validation to hit the runner guard
         with pytest.raises(TrialError, match="no runner"):
             run_trial(trial)
+
+
+class TestExecutorProtocol:
+    def test_executors_are_executors(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert isinstance(ProcessPoolExecutor(), Executor)
+
+    def test_serial_and_pool_are_byte_identical(self):
+        sweep = cheap_sweep()
+        serial = SerialExecutor().execute(sweep, cache=None)
+        pooled = ProcessPoolExecutor(workers=3).execute(sweep, cache=None)
+        assert serial.to_json() == pooled.to_json()
+        assert serial.workers == 1
+        assert pooled.workers == 3
+
+    def test_run_sweep_picks_executor_from_workers(self):
+        sweep = cheap_sweep()
+        via_wrapper = run_sweep(sweep, workers=1, cache=None)
+        via_serial = SerialExecutor().execute(sweep, cache=None)
+        assert via_wrapper.to_json() == via_serial.to_json()
+
+    def test_pool_runs_inline_for_single_pending_trial(self, tmp_path):
+        store = ResultCache(root=tmp_path, code_version="v1")
+        sweep = cheap_sweep()
+        run_sweep(Sweep("seed", sweep.trials[:-1]), workers=1,
+                  cache=store)
+        # 3 of 4 trials cached: one pending trial must not spawn a pool.
+        result = ProcessPoolExecutor(workers=4).execute(sweep,
+                                                        cache=store)
+        assert result.cached == [True, True, True, False]
+        assert result.to_json() == \
+            SerialExecutor().execute(sweep, cache=store).to_json()
+
+    def test_executor_progress_callback(self):
+        lines = []
+        sweep = Sweep("tiny")
+        sweep.add("taint")
+        SerialExecutor().execute(sweep, cache=None,
+                                 progress=lines.append)
+        assert lines == ["[1/1] taint: done"]
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "9")
+        assert default_workers() == 9
+
+    def test_env_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert default_workers() == 1
+
+    def test_malformed_env_warns_once_and_falls_back(self, monkeypatch):
+        import warnings
+
+        import repro.harness.executor as executor_mod
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        monkeypatch.setattr(executor_mod, "_warned_bad_workers", False)
+        with pytest.warns(RuntimeWarning, match="malformed REPRO_WORKERS"):
+            workers = default_workers()
+        assert workers >= 1            # the sane default, not a crash
+        # Second call in the same process stays silent (warn once).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_workers() == workers
 
 
 class TestSweepResult:

@@ -39,6 +39,8 @@ def test_checker_covers_every_doc_file():
     ("pass `receiver=quantum-probe`", "unknown receiver"),
     ("pass `runahead=vectr`", "unknown controller"),
     ("pass `contender=secrue`", "unknown controller"),
+    ("run `python -m repro campaign pause`", "unknown subcommand"),
+    ("run `python -m repro trace replay`", "unknown subcommand"),
 ])
 def test_checker_flags_dangling_references(tmp_path, snippet, problem):
     bad = tmp_path / "BAD.md"
@@ -54,5 +56,7 @@ def test_checker_accepts_resolvable_references(tmp_path):
         "# Doc\n\nUse `repro.harness.run_sweep` via "
         "`python -m repro sweep fig9 --workers 2` or "
         "`python -m repro run ipc workload=trace-mcf` and files via "
-        "`corunner=trace:saved.trace`.\n", encoding="utf-8")
+        "`corunner=trace:saved.trace`, then "
+        "`python -m repro campaign status campaigns/fig7`.\n",
+        encoding="utf-8")
     assert check_docs.check_file(good) == []

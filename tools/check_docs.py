@@ -12,6 +12,8 @@ source tree:
   external flag);
 * ``repro sweep <name>`` examples must name a real preset, and
   ``repro run <kind>`` a real trial kind;
+* ``repro campaign <sub>`` / ``repro trace <sub>`` examples must name
+  a subcommand the argument parser actually defines;
 * workload/receiver/controller names in ``key=value`` CLI examples
   (``workload=``, ``receiver=``, ``runahead=``, ``corunner=``) must
   resolve through the harness registry.
@@ -48,6 +50,10 @@ _SYMBOL = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _FLAG = re.compile(r"(?<![\w\-/.])--[a-z][a-z0-9\-]*")
 _SWEEP_NAME = re.compile(r"repro sweep ([a-z0-9_]+)")
 _RUN_KIND = re.compile(r"repro run ([a-z0-9_]+)")
+#: Command groups whose subcommand names docs may reference.
+_GROUPED = ("campaign", "trace")
+_GROUP_SUB = re.compile(
+    r"repro (" + "|".join(_GROUPED) + r") ([a-z][a-z0-9\-]*)")
 _KEYED_NAME = re.compile(
     r"\b(workload|receiver|corunner|runahead|contender|baseline)"
     r"=([A-Za-z0-9_.:\-]+)")
@@ -78,6 +84,23 @@ def _known_flags() -> Set[str]:
 
     walk(build_parser())
     return flags
+
+
+def _known_subcommands(group: str) -> Set[str]:
+    """Subcommand names of one ``python -m repro`` command group."""
+    from repro.__main__ import build_parser
+
+    for action in build_parser()._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        parser = action.choices.get(group)
+        if parser is None:
+            return set()
+        return {name
+                for sub_action in parser._actions
+                if isinstance(sub_action, argparse._SubParsersAction)
+                for name in sub_action.choices}
+    return set()
 
 
 def _resolve_symbol(symbol: str) -> bool:
@@ -125,6 +148,10 @@ def check_file(path: pathlib.Path) -> List[str]:
         if kind not in TRIAL_KINDS:
             problems.append(f"{path.name}: unknown trial kind "
                             f"`repro run {kind}`")
+    for group, sub in sorted(set(_GROUP_SUB.findall(code))):
+        if sub not in _known_subcommands(group):
+            problems.append(f"{path.name}: unknown subcommand "
+                            f"`repro {group} {sub}`")
     for key, value in sorted(set(_KEYED_NAME.findall(code))):
         if value.startswith("trace:") or "<" in value:
             continue          # file-path replays / placeholders
