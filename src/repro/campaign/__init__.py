@@ -19,17 +19,34 @@ Typical use::
     # `repro campaign resume campaigns/fig7`) completes it —
     # result.to_json() is byte-identical either way.
 
-The CLI surface is ``repro campaign run|resume|status|serve``.
+A campaign can also be *sharded across hosts*: ``repro campaign
+coordinate <dir>`` runs the read-write coordinator that owns the
+directory and hands trials out under journaled leases, and ``repro
+campaign worker <url>`` pulls trials on any number of hosts
+(:mod:`~repro.campaign.coordinator` / :mod:`~repro.campaign.worker`).
+``http://host:port`` cache URIs let plain sweeps share a remote
+result store the same way (:mod:`~repro.campaign.httpcache`).
+
+The CLI surface is ``repro campaign
+run|resume|status|serve|coordinate|worker``.
 """
 
+from .coordinator import (DEFAULT_LEASE_SECONDS, coordinate,
+                          make_coordinator)
 from .engine import (DEFAULT_BACKOFF, DEFAULT_RETRIES, Campaign,
                      CampaignExecutor)
+from .httpcache import HttpCacheBackend, make_cache_server
 from .journal import CampaignDir, CampaignError
+from .netretry import RetryPolicy, Unreachable, backoff_delay
 from .server import make_server, serve
 from .status import campaign_status, render_status
+from .worker import run_worker
 
 __all__ = [
-    "DEFAULT_BACKOFF", "DEFAULT_RETRIES", "Campaign", "CampaignExecutor",
-    "CampaignDir", "CampaignError", "make_server", "serve",
-    "campaign_status", "render_status",
+    "DEFAULT_BACKOFF", "DEFAULT_RETRIES", "DEFAULT_LEASE_SECONDS",
+    "Campaign", "CampaignExecutor", "CampaignDir", "CampaignError",
+    "HttpCacheBackend", "RetryPolicy", "Unreachable", "backoff_delay",
+    "campaign_status", "coordinate", "make_cache_server",
+    "make_coordinator", "make_server", "render_status", "run_worker",
+    "serve",
 ]

@@ -1,0 +1,599 @@
+"""Read-write campaign coordinator: one campaign, many worker hosts.
+
+``repro campaign coordinate <dir>`` promotes the read-only status
+server into the process that *owns* a campaign directory.  Worker
+hosts (:mod:`repro.campaign.worker`) pull trials over HTTP; the
+coordinator is the only process that ever writes the campaign
+directory or its result store, which is what keeps multi-host
+execution exactly as safe as PR 6's single-host pool:
+
+* **Leases, not assignments.**  ``POST /claim`` hands a worker the
+  next pending trial under a *lease* (host id, trial index, expiry)
+  journaled to ``journal.jsonl``.  Workers heartbeat ``POST /renew``;
+  the reconciliation loop expires leases whose host died, hung past
+  the per-trial timeout, or vanished behind a partition, and
+  re-enqueues the trial with the engine's bounded capped-jitter retry
+  semantics — a dead host is indistinguishable from a dead pool
+  worker.
+* **Cache before journal.**  ``POST /complete`` writes the result to
+  the campaign's real ``dir:``/``sqlite:`` store *before* appending
+  the journal completion, preserving the ordering every resume proof
+  relies on.  Completions are idempotent: a duplicate (expired lease,
+  retried upload after a truncated response) is acknowledged and
+  dropped.
+* **Failure taxonomy unchanged.**  ``POST /fail`` with a
+  deterministic ``trial-error`` aborts the campaign (journaled);
+  transient ``worker-error``\\ s re-enqueue with bounded retries.
+  Exhausting the budget fails the campaign exactly like the pool.
+* **Kill-safe.**  SIGKILL the coordinator at any instant and the
+  directory is resumable by the existing paths — restart the
+  coordinator, or finish locally with ``repro campaign resume``.
+  In-memory leases die with the process; orphaned completions are
+  accepted by spec-hash, never trusted blindly.
+
+Read endpoints (``/``, ``/status``, ``/manifest``, ``/healthz``,
+``/result/<sweep>``) are the status server's, unchanged; ``/cache``
+mounts the store for :class:`~repro.campaign.httpcache.HttpCacheBackend`
+clients; ``/coordinator`` reports live queue/lease state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..harness.executor import SweepResult, plan_sweep
+from ..harness.spec import Trial
+from .engine import Campaign
+from .httpcache import CacheRoutes, read_json_body
+from .netretry import backoff_delay
+from .server import _routes as read_routes
+from .server import install_sigterm_handler
+
+#: Default lease lifetime; workers renew at a third of this.
+DEFAULT_LEASE_SECONDS = 30.0
+#: How often the background reconciliation loop wakes up.
+_RECONCILE_INTERVAL = 0.25
+
+
+class _Lease:
+    __slots__ = ("lease_id", "host", "key", "issued", "expires",
+                 "deadline")
+
+    def __init__(self, lease_id: str, host: str, key: Tuple[str, int],
+                 issued: float, expires: float,
+                 deadline: Optional[float]):
+        self.lease_id = lease_id
+        self.host = host
+        self.key = key                  # (sweep name, trial index)
+        self.issued = issued            # monotonic
+        self.expires = expires          # monotonic
+        self.deadline = deadline        # monotonic cap (trial timeout)
+
+
+class CoordinatorState:
+    """All mutable campaign state, serialized under one lock.
+
+    Mirrors ``Campaign.run``'s prologue (plan against the cache,
+    journal ``start`` + ``cached`` events) and its completion path
+    (``plan.finish`` → cache put → journal ``trial`` event → seal the
+    sweep), but the pool is the network: trials leave via leases and
+    come back via uploads.
+    """
+
+    def __init__(self, campaign: Campaign,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.campaign = campaign
+        self.cdir = campaign.cdir
+        self.lease_seconds = max(0.1, lease_seconds)
+        self.lock = threading.RLock()
+        self.store = campaign.backend()
+        self.timeout = campaign.manifest.get("timeout")
+        self.max_retries = campaign.manifest.get("max_retries", 2)
+        self.backoff = campaign.manifest.get("backoff", 0.25)
+
+        self.run_id = 1 + sum(1 for e in self.cdir.events()
+                              if e.get("event") == "start")
+        self.started = time.monotonic()
+        self.plans = {}                        # sweep name -> _Plan
+        self.trials: Dict[Tuple[str, int], Trial] = {}
+        self.queue: deque = deque()            # ready (sweep, index)
+        self.delayed: List = []                # heap (ready_time, key)
+        self.unfinished: set = set()
+        self.sealed: set = set()
+        self.leases: Dict[str, _Lease] = {}
+        self.by_key: Dict[Tuple[str, int], str] = {}   # key -> lease id
+        self.retries: Dict[Tuple[str, int], int] = {}
+        self.hosts: set = set()
+        self.error: Optional[str] = None
+        self.finished = False
+
+        for sweep in campaign.sweeps():
+            plan = plan_sweep(sweep, cache=self.store, progress=progress)
+            self.plans[sweep.name] = plan
+            for index, trial in plan.pending:
+                key = (sweep.name, index)
+                self.trials[key] = trial
+                self.unfinished.add(key)
+                self.queue.append(key)
+        self.cdir.append_event({
+            "event": "start", "run": self.run_id, "workers": None,
+            "mode": "coordinator",
+            "pending": sum(len(p.pending) for p in self.plans.values()),
+            "cached": sum(sum(p.cached_flags)
+                          for p in self.plans.values())})
+        for name, plan in self.plans.items():
+            for index, flag in enumerate(plan.cached_flags):
+                if flag:
+                    self.cdir.append_event({
+                        "event": "trial", "run": self.run_id,
+                        "sweep": name, "index": index,
+                        "spec_hash": plan.sweep.trials[index].spec_hash(),
+                        "status": "cached", "retries": 0})
+        # Sweeps fully served from the cache seal immediately; a
+        # coordinator restarted on a finished campaign just re-seals
+        # and reports done.
+        with self.lock:
+            for name in list(self.plans):
+                self._maybe_seal(name)
+            self._maybe_finish()
+
+    # -------------------------------------------------- write routes
+
+    def claim(self, host: str) -> Tuple[int, Dict[str, Any]]:
+        with self.lock:
+            self._reconcile_locked()
+            if self.error is not None:
+                return 200, {"state": "failed", "error": self.error}
+            if self.finished:
+                return 200, {"done": True}
+            self.hosts.add(host)
+            key = self._next_ready()
+            if key is None:
+                return 200, {"retry_after": self._poll_hint()}
+            lease_id = uuid.uuid4().hex
+            now = time.monotonic()
+            deadline = now + self.timeout if self.timeout else None
+            lease = _Lease(lease_id, host, key, now,
+                           self._expiry(now, deadline), deadline)
+            self.leases[lease_id] = lease
+            self.by_key[key] = lease_id
+            sweep, index = key
+            self.cdir.append_event({
+                "event": "lease", "run": self.run_id, "sweep": sweep,
+                "index": index, "host": host, "lease": lease_id,
+                "expires": round(time.time() + (lease.expires - now), 3)})
+            return 200, {
+                "lease": lease_id, "sweep": sweep, "index": index,
+                "trial": self.trials[key].to_dict(),
+                "spec_hash": self.trials[key].spec_hash(),
+                "lease_seconds": self.lease_seconds,
+                "attempt": self.retries.get(key, 0),
+            }
+
+    def renew(self, lease_id: str) -> Tuple[int, Dict[str, Any]]:
+        with self.lock:
+            lease = self.leases.get(lease_id)
+            if lease is None:
+                return 200, {"ok": False, "reason": "unknown-lease"}
+            now = time.monotonic()
+            if lease.deadline is not None and now >= lease.deadline:
+                # Past the per-trial timeout: refuse — the reconcile
+                # loop will expire it and re-enqueue the trial.
+                return 200, {"ok": False, "reason": "timeout"}
+            lease.expires = self._expiry(now, lease.deadline)
+            self.cdir.append_event({
+                "event": "renew", "run": self.run_id,
+                "sweep": lease.key[0], "index": lease.key[1],
+                "host": lease.host, "lease": lease_id})
+            return 200, {"ok": True,
+                         "lease_seconds": self.lease_seconds}
+
+    def complete(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        lease_id = body.get("lease")
+        result = body.get("result")
+        if not isinstance(result, dict):
+            return 400, {"error": "completion needs a JSON `result` "
+                                  "object"}
+        with self.lock:
+            lease = self.leases.pop(lease_id, None)
+            if lease is not None:
+                self.by_key.pop(lease.key, None)
+                key = lease.key
+                host = lease.host
+                elapsed = time.monotonic() - lease.issued
+            else:
+                # Orphaned upload (lease expired, or a pre-restart
+                # lease): accept it iff it names a known unfinished
+                # trial by position AND content hash.
+                key = (body.get("sweep"), body.get("index"))
+                host = body.get("host", "?")
+                elapsed = None
+            trial = self.trials.get(key)
+            if trial is None or key not in self.unfinished:
+                return 200, {"ok": True, "duplicate": True}
+            if body.get("spec_hash") not in (None, trial.spec_hash()):
+                return 409, {"error": "spec hash mismatch — different "
+                                      "campaign or stale worker"}
+            sweep, index = key
+            self.unfinished.discard(key)
+            # Cache write happens inside plan.finish, BEFORE the
+            # journal append below — the ordering every resume and
+            # kill test relies on.
+            self.plans[sweep].finish(index, trial, result)
+            event = {
+                "event": "trial", "run": self.run_id, "sweep": sweep,
+                "index": index, "spec_hash": trial.spec_hash(),
+                "status": "done", "retries": self.retries.get(key, 0),
+                "host": host}
+            if elapsed is not None:
+                event["elapsed"] = round(elapsed, 6)
+            self.cdir.append_event(event)
+            self._maybe_seal(sweep)
+            self._maybe_finish()
+            return 200, {"ok": True}
+
+    def fail(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        lease_id = body.get("lease")
+        kind = body.get("kind", "worker-error")
+        reason = str(body.get("reason", "worker reported failure"))
+        with self.lock:
+            lease = self.leases.pop(lease_id, None)
+            if lease is not None:
+                self.by_key.pop(lease.key, None)
+                key = lease.key
+            else:
+                key = (body.get("sweep"), body.get("index"))
+            if key not in self.unfinished:
+                return 200, {"ok": True, "duplicate": True}
+            if kind == "trial-error":
+                # Deterministic failure: rerunning can only fail the
+                # same way — abort the campaign, exactly like the pool.
+                self._abort(key[0], reason)
+                return 200, {"ok": True, "state": "failed"}
+            self._schedule_retry(key, reason)
+            return 200, {"ok": True}
+
+    # ------------------------------------------------- reconciliation
+
+    def reconcile(self) -> None:
+        """Expire dead hosts' leases, release delayed retries.  Runs
+        from the background loop and at the top of every claim."""
+        with self.lock:
+            self._reconcile_locked()
+
+    def _reconcile_locked(self) -> None:
+        now = time.monotonic()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, key = heapq.heappop(self.delayed)
+            if key in self.unfinished and key not in self.by_key:
+                self.queue.append(key)
+        for lease_id, lease in list(self.leases.items()):
+            if now < lease.expires:
+                continue
+            del self.leases[lease_id]
+            self.by_key.pop(lease.key, None)
+            if lease.key not in self.unfinished:
+                continue
+            if lease.deadline is not None and now >= lease.deadline:
+                reason = f"timeout after {self.timeout:g}s " \
+                         f"(host {lease.host})"
+            else:
+                reason = f"lease expired (host {lease.host} dead, " \
+                         f"hung, or partitioned)"
+            self.cdir.append_event({
+                "event": "lease-expired", "run": self.run_id,
+                "sweep": lease.key[0], "index": lease.key[1],
+                "host": lease.host, "lease": lease_id})
+            self._schedule_retry(lease.key, reason)
+
+    def _schedule_retry(self, key: Tuple[str, int], reason: str) -> None:
+        if self.error is not None or key not in self.unfinished:
+            return
+        attempt = self.retries.get(key, 0) + 1
+        if attempt > self.max_retries:
+            label = self.trials[key].label
+            self._abort(key[0],
+                        f"trial {label!r} failed "
+                        f"{self.max_retries + 1} times; last failure: "
+                        f"{reason}")
+            return
+        self.retries[key] = attempt
+        self.cdir.append_event({
+            "event": "retry", "run": self.run_id, "sweep": key[0],
+            "index": key[1], "attempt": attempt, "reason": reason})
+        delay = backoff_delay(self.backoff, attempt,
+                              key=("coordinator",) + key)
+        heapq.heappush(self.delayed, (time.monotonic() + delay, key))
+
+    def _abort(self, sweep: str, message: str) -> None:
+        self.error = message
+        self.cdir.append_event({
+            "event": "error", "run": self.run_id, "sweep": sweep,
+            "message": message})
+
+    # ---------------------------------------------------- completion
+
+    def _maybe_seal(self, sweep_name: str) -> None:
+        if sweep_name in self.sealed:
+            return
+        plan = self.plans[sweep_name]
+        if any(record is None for record in plan.records):
+            return
+        result = SweepResult(
+            name=sweep_name,
+            records=[r for r in plan.records],
+            cached=plan.cached_flags,
+            workers=max(1, len(self.hosts)),
+            elapsed=time.monotonic() - self.started,
+            cache_hits=self.store.hits,
+            cache_misses=len(plan.pending))
+        self.cdir.write_result(sweep_name, result.to_json())
+        self.cdir.append_event({
+            "event": "sweep-done", "run": self.run_id,
+            "sweep": sweep_name, "trials": len(plan.sweep.trials),
+            "computed": len(plan.pending)})
+        self.sealed.add(sweep_name)
+
+    def _maybe_finish(self) -> None:
+        if self.finished or self.unfinished or self.error is not None:
+            return
+        for name in self.plans:
+            self._maybe_seal(name)
+        if len(self.sealed) == len(self.plans):
+            self.finished = True
+            self.cdir.append_event({
+                "event": "finish", "run": self.run_id,
+                "elapsed": time.monotonic() - self.started,
+                "cache": self.store.stats()})
+
+    # ------------------------------------------------------- helpers
+
+    def _next_ready(self) -> Optional[Tuple[str, int]]:
+        while self.queue:
+            key = self.queue.popleft()
+            if key in self.unfinished and key not in self.by_key:
+                return key
+        return None
+
+    def _poll_hint(self) -> float:
+        """How long a worker should wait before asking again: until
+        the earliest delayed retry, else a lease-expiry-scale pause."""
+        if self.delayed:
+            wait = self.delayed[0][0] - time.monotonic()
+            return max(0.05, min(wait, self.lease_seconds))
+        return min(1.0, self.lease_seconds / 3)
+
+    def _expiry(self, now: float, deadline: Optional[float]) -> float:
+        expires = now + self.lease_seconds
+        if deadline is not None:
+            expires = min(expires, deadline + self.lease_seconds / 3)
+        return expires
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Live in-memory view for the ``/coordinator`` endpoint."""
+        with self.lock:
+            return {
+                "state": ("failed" if self.error is not None else
+                          "finished" if self.finished else "serving"),
+                "error": self.error,
+                "run": self.run_id,
+                "lease_seconds": self.lease_seconds,
+                "queued": len(self.queue),
+                "delayed": len(self.delayed),
+                "leased": len(self.leases),
+                "unfinished": len(self.unfinished),
+                "sealed": sorted(self.sealed),
+                "hosts": sorted(self.hosts),
+                "leases": [
+                    {"lease": lease.lease_id, "host": lease.host,
+                     "sweep": lease.key[0], "index": lease.key[1],
+                     "expires_in": round(
+                         lease.expires - time.monotonic(), 3)}
+                    for lease in self.leases.values()],
+            }
+
+
+class CoordinatorRequestHandler(BaseHTTPRequestHandler):
+    """The status server's GET surface plus the write protocol."""
+
+    server_version = "repro-coordinator/1"
+    #: Set by make_coordinator().
+    state: CoordinatorState = None
+    routes = None
+    cache_routes: CacheRoutes = None
+
+    def log_message(self, fmt, *args):   # keep CLI output clean
+        pass
+
+    def _respond(self, code: int, payload) -> None:
+        body = ("" if payload is None else
+                payload if isinstance(payload, str)
+                else json.dumps(payload, sort_keys=True, indent=2))
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        if data and self.command != "HEAD":
+            try:
+                self.wfile.write(data)
+            except OSError:
+                pass                     # client vanished mid-response
+
+    def _path(self) -> str:
+        return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def do_HEAD(self):                   # noqa: N802 (stdlib naming)
+        self.do_GET()
+
+    def do_GET(self):                    # noqa: N802 (stdlib naming)
+        path = self._path()
+        if path == "/coordinator":
+            self._respond(200, self.state.snapshot())
+        elif path == "/cache" or path.startswith("/cache/"):
+            self._cache("GET", path)
+        elif path.startswith("/result/"):
+            code, payload = self.routes["result"](path[len("/result/"):])
+            self._respond(code, payload)
+        elif path in self.routes:
+            code, payload = self.routes[path]()
+            self._respond(code, payload)
+        else:
+            self._respond(404, {
+                "error": f"unknown path {path!r}",
+                "endpoints": ["/", "/status", "/manifest", "/healthz",
+                              "/coordinator", "/result/<sweep>",
+                              "/cache/<key>", "/claim", "/renew",
+                              "/complete", "/fail"]})
+
+    def do_POST(self):                   # noqa: N802 (stdlib naming)
+        path = self._path()
+        handlers = {"/claim": self._claim, "/renew": self._renew,
+                    "/complete": self._complete, "/fail": self._fail}
+        handler = handlers.get(path)
+        if handler is None:
+            self._respond(404, {"error": f"no POST route {path!r}"})
+            return
+        body = read_json_body(self)
+        if body is None:
+            # Truncated/garbled upload from a flaky link: reject; the
+            # worker's retry layer re-sends the whole request.
+            self._respond(400, {"error": "malformed JSON body"})
+            return
+        code, payload = handler(body)
+        self._respond(code, payload)
+
+    def do_PUT(self):                    # noqa: N802 (stdlib naming)
+        path = self._path()
+        if path.startswith("/cache/"):
+            self._cache("PUT", path)
+        else:
+            self._respond(404, {"error": f"no PUT route {path!r}"})
+
+    def do_DELETE(self):                 # noqa: N802 (stdlib naming)
+        path = self._path()
+        if path == "/cache" or path.startswith("/cache/"):
+            self._cache("DELETE", path)
+        else:
+            self._respond(404, {"error": f"no DELETE route {path!r}"})
+
+    # ------------------------------------------------------ adapters
+
+    def _claim(self, body):
+        return self.state.claim(str(body.get("host", "unknown-host")))
+
+    def _renew(self, body):
+        return self.state.renew(body.get("lease"))
+
+    def _complete(self, body):
+        return self.state.complete(body)
+
+    def _fail(self, body):
+        return self.state.fail(body)
+
+    def _cache(self, method: str, path: str) -> None:
+        key = path[len("/cache/"):] if path.startswith("/cache/") else ""
+        body = read_json_body(self) if method == "PUT" else None
+        if method == "PUT" and body is None:
+            self._respond(400, {"error": "malformed JSON body"})
+            return
+        code, payload = self.cache_routes.handle(method, key, body)
+        self._respond(code, payload)
+
+
+class _ReconcileLoop(threading.Thread):
+    """Expires leases and releases retries even when no worker calls —
+    the loop that turns a vanished host into re-enqueued work."""
+
+    def __init__(self, state: CoordinatorState,
+                 interval: float = _RECONCILE_INTERVAL):
+        super().__init__(daemon=True, name="campaign-reconcile")
+        self.state = state
+        self.interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.state.reconcile()
+            with self.state.lock:
+                self.state._maybe_finish()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def make_coordinator(directory, host: str = "127.0.0.1", port: int = 0,
+                     lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                     progress: Optional[Callable[[str], None]] = None) \
+        -> Tuple[ThreadingHTTPServer, CoordinatorState, _ReconcileLoop]:
+    """Open the campaign, build (don't start) the coordinator server
+    plus its reconciliation loop; ``port=0`` picks a free port."""
+    campaign = Campaign.open(directory)
+    state = CoordinatorState(campaign, lease_seconds=lease_seconds,
+                             progress=progress)
+    handler = type("BoundCoordinatorHandler", (CoordinatorRequestHandler,),
+                   {"state": state,
+                    "routes": read_routes(directory),
+                    "cache_routes": CacheRoutes(state.store, state.lock)})
+    server = ThreadingHTTPServer((host, port), handler)
+    loop = _ReconcileLoop(state)
+    return server, state, loop
+
+
+def coordinate(directory, host: str = "127.0.0.1", port: int = 8008,
+               lease_seconds: float = DEFAULT_LEASE_SECONDS,
+               until_done: bool = False, announce=None,
+               progress: Optional[Callable[[str], None]] = None) -> int:
+    """Run the coordinator until interrupted (SIGINT/SIGTERM both shut
+    down cleanly) — or, with ``until_done``, until the campaign
+    finishes or fails.  Returns a CLI exit code: 0 finished/stopped,
+    1 campaign failed.
+    """
+    server, state, loop = make_coordinator(
+        directory, host=host, port=port, lease_seconds=lease_seconds,
+        progress=progress)
+    install_sigterm_handler()
+    bound_host, bound_port = server.server_address[:2]
+    # Everything after handler installation sits inside the try: a
+    # TERM landing before serve_forever() still takes the clean path.
+    try:
+        if announce:
+            announce(f"coordinating campaign {directory} on "
+                     f"http://{bound_host}:{bound_port} "
+                     f"(workers: `repro campaign worker "
+                     f"http://{bound_host}:{bound_port}`)")
+        if until_done:
+            def _watch():
+                while True:
+                    with state.lock:
+                        settled = state.finished or \
+                            state.error is not None
+                    if settled:
+                        server.shutdown()
+                        return
+                    time.sleep(_RECONCILE_INTERVAL)
+            threading.Thread(target=_watch, daemon=True,
+                             name="campaign-until-done").start()
+        loop.start()
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        loop.stop()
+        server.server_close()
+    with state.lock:
+        if state.error is not None:
+            if announce:
+                announce(f"campaign failed: {state.error}")
+            return 1
+        if announce and state.finished:
+            announce("campaign finished")
+    return 0

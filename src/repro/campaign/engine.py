@@ -42,10 +42,13 @@ from ..harness.executor import (Executor, SweepResult, default_workers,
 from ..harness.runner import TrialError, run_trial
 from ..harness.spec import Sweep, Trial
 from .journal import CampaignDir, CampaignError
+from .netretry import backoff_delay
 
 #: Default bound on per-trial re-executions after transient failures.
 DEFAULT_RETRIES = 2
-#: Default first-retry delay; doubles per attempt.
+#: Default first-retry backoff base; the actual delay is drawn with
+#: full jitter from [0, min(cap, base * 2**(attempt-1))] — see
+#: :func:`repro.campaign.netretry.backoff_delay`.
 DEFAULT_BACKOFF = 0.25
 #: How long the pool tolerates total silence with idle workers before
 #: re-queueing unclaimed work (covers a worker killed between pulling
@@ -139,7 +142,10 @@ class _WorkStealingPool:
                 f"{self.max_retries + 1} times; last failure: {reason}")
         self.retries[index] = attempt
         self.on_retry(index, attempt, reason)
-        delay = self.backoff * (2 ** (attempt - 1))
+        # Capped full-jitter backoff, seeded per trial: simultaneous
+        # failures spread out instead of retrying in lockstep, and no
+        # attempt ever waits past the cap.
+        delay = backoff_delay(self.backoff, attempt, key=("pool", index))
         heapq.heappush(self.delayed, (time.monotonic() + delay, index))
 
     def _kill_worker(self, worker_id: int) -> None:
@@ -305,7 +311,8 @@ def _run_serial(trials: Dict[int, Trial], max_retries: int,
                         f"{max_retries + 1} times; last failure: "
                         f"{type(exc).__name__}: {exc}") from exc
                 on_retry(index, attempt, f"{type(exc).__name__}: {exc}")
-                time.sleep(backoff * (2 ** (attempt - 1)))
+                time.sleep(backoff_delay(backoff, attempt,
+                                         key=("serial", index)))
             else:
                 on_done(index, payload, attempt,
                         time.monotonic() - started)
@@ -314,16 +321,20 @@ def _run_serial(trials: Dict[int, Trial], max_retries: int,
 
 def _resolve_campaign_cache(spec: Any, base: CampaignDir) -> CacheBackend:
     """Backend from a manifest cache URI, relative paths anchored at
-    the campaign directory (so a campaign dir can be moved around)."""
+    the campaign directory (so a campaign dir can be moved around).
+    Remote ``http:``/``https:`` URIs pass through untouched — there is
+    nothing to anchor."""
     if isinstance(spec, CacheBackend):
         return spec
     if isinstance(spec, str) and ":" in spec:
         scheme, _, location = spec.partition(":")
+        if scheme in ("http", "https"):
+            return resolve_cache(spec)
         path = base.path / location
         return resolve_cache(f"{scheme}:{path}") \
             if not location.startswith("/") else resolve_cache(spec)
-    raise CampaignError(f"campaign cache must be a dir:/sqlite: URI or "
-                        f"a CacheBackend, got {spec!r}")
+    raise CampaignError(f"campaign cache must be a dir:/sqlite:/http: "
+                        f"URI or a CacheBackend, got {spec!r}")
 
 
 class Campaign:

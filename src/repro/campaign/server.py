@@ -13,13 +13,22 @@ a byte to the campaign directory.  Endpoints:
 ``GET /result/<sweep>``
                    the canonical ``SweepResult`` JSON of a completed
                    sweep (404 until that sweep has finished once)
+``GET /healthz``   liveness probe: 200 with manifest/journal
+                   readability figures, 503 when the campaign state
+                   cannot be read — what supervisors (and the chaos
+                   proxy in the test suite) poll
 
-Every response is JSON; the server answers GET/HEAD only.
+Every response is JSON; the server answers GET/HEAD only.  ``serve``
+installs a SIGTERM handler so supervisors can stop it cleanly (the
+read-write coordinator, :mod:`repro.campaign.coordinator`, reuses the
+same routes and shutdown path on top of its write endpoints).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -40,7 +49,7 @@ def _routes(directory):
         return 200, {
             "campaign": status["name"],
             "state": status["state"],
-            "endpoints": ["/status", "/manifest"] +
+            "endpoints": ["/status", "/manifest", "/healthz"] +
                          [f"/result/{name}" for name in sweeps],
         }
 
@@ -65,8 +74,27 @@ def _routes(directory):
                                   f"yet — still running, or unknown"}
         return 200, text              # already-canonical JSON, verbatim
 
+    def healthz() -> Tuple[int, object]:
+        """Liveness: the campaign's shared state must be *readable* —
+        a parseable manifest and an openable journal.  (Journal
+        readers tolerate a truncated tail, so readability is the
+        strongest property worth probing.)"""
+        try:
+            cdir.read_manifest()
+        except CampaignError as exc:
+            return 503, {"status": "unhealthy", "error": str(exc)}
+        try:
+            with open(cdir.journal_path, encoding="utf-8") as handle:
+                lines = sum(1 for _ in handle)
+        except OSError as exc:
+            return 503, {"status": "unhealthy",
+                         "error": f"journal unreadable: {exc}"}
+        events = sum(1 for _ in cdir.events())
+        return 200, {"status": "ok", "journal_lines": lines,
+                     "journal_events": events}
+
     return {"/": index, "/status": status, "/manifest": manifest,
-            "result": result}
+            "/healthz": healthz, "result": result}
 
 
 class CampaignRequestHandler(BaseHTTPRequestHandler):
@@ -103,7 +131,7 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         else:
             code, payload = 404, {"error": f"unknown path {path!r}",
                                   "endpoints": ["/", "/status",
-                                                "/manifest",
+                                                "/manifest", "/healthz",
                                                 "/result/<sweep>"]}
         self._respond(code, payload)
 
@@ -117,16 +145,41 @@ def make_server(directory, host: str = "127.0.0.1",
     return ThreadingHTTPServer((host, port), handler)
 
 
+def install_sigterm_handler() -> None:
+    """Route SIGTERM onto the KeyboardInterrupt clean-shutdown path.
+
+    Without this the stdlib HTTP loop ignores a supervisor's TERM
+    until the process is killed hard.  Only possible from the main
+    thread — anywhere else (tests driving servers from threads) this
+    is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except (ValueError, OSError):       # non-main interpreter quirks
+        pass
+
+
 def serve(directory, host: str = "127.0.0.1", port: int = 8008,
           announce=None) -> None:
-    """Run the status server until interrupted (CLI entry point)."""
+    """Run the status server until interrupted — SIGINT or SIGTERM
+    both shut it down cleanly (CLI entry point)."""
     server = make_server(directory, host=host, port=port)
+    install_sigterm_handler()
     bound_host, bound_port = server.server_address[:2]
-    if announce:
-        announce(f"serving campaign {directory} on "
-                 f"http://{bound_host}:{bound_port} "
-                 f"(endpoints: /status /manifest /result/<sweep>)")
+    # The announce sits inside the try: a TERM landing between the
+    # banner and serve_forever() must still take the clean path.
     try:
+        if announce:
+            announce(f"serving campaign {directory} on "
+                     f"http://{bound_host}:{bound_port} "
+                     f"(endpoints: /status /manifest /healthz "
+                     f"/result/<sweep>)")
         server.serve_forever()
     except KeyboardInterrupt:
         pass

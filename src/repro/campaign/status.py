@@ -10,7 +10,10 @@ do).  All figures derive from journal events:
   several resume runs never double-count;
 * cache hit rate — journaled ``cached`` completions over completions;
 * throughput (trials/s) over the most recent run's computed trials and
-  an ETA for the remainder at that rate.
+  an ETA for the remainder at that rate;
+* multi-host lease figures (hosts seen, leases issued / renewed /
+  expired) when the campaign ran under a coordinator
+  (:mod:`repro.campaign.coordinator`).
 """
 
 from __future__ import annotations
@@ -35,6 +38,8 @@ def campaign_status(directory) -> Dict[str, Any]:
     runs = 0
     errors = []
     finished = False
+    hosts: set = set()
+    leases = {"issued": 0, "renewed": 0, "expired": 0}
     compute_times = []                    # (wall time, elapsed) of "done"
     per_sweep: Dict[str, Dict[str, int]] = {
         s["name"]: {"trials": len(s.get("trials", [])), "done": 0,
@@ -71,6 +76,14 @@ def campaign_status(directory) -> Dict[str, Any]:
                            "message": event.get("message")})
         elif kind == "finish":
             finished = True
+        elif kind == "lease":
+            leases["issued"] += 1
+            if event.get("host"):
+                hosts.add(event["host"])
+        elif kind == "renew":
+            leases["renewed"] += 1
+        elif kind == "lease-expired":
+            leases["expired"] += 1
 
     done = sum(1 for s in completed.values() if s == "done")
     cached = sum(1 for s in completed.values() if s == "cached")
@@ -103,6 +116,8 @@ def campaign_status(directory) -> Dict[str, Any]:
                   "in-progress" if runs else "created"),
         "trials_per_second": rate,
         "eta_seconds": eta,
+        "hosts": sorted(hosts),
+        "leases": leases,
     }
 
 
@@ -139,6 +154,13 @@ def render_status(status: Dict[str, Any]) -> str:
                      f"{status['trials_per_second']:.2f} trials/s")
     if status["eta_seconds"] is not None:
         lines.append(f"eta        : {status['eta_seconds']:.0f}s")
+    if status.get("hosts"):
+        leases = status["leases"]
+        lines.append(f"hosts      : {len(status['hosts'])} "
+                     f"({', '.join(status['hosts'])}) — "
+                     f"{leases['issued']} lease(s), "
+                     f"{leases['renewed']} renewed, "
+                     f"{leases['expired']} expired")
     for sweep, counts in status["sweeps"].items():
         lines.append(f"  sweep {sweep}: "
                      f"{counts['done'] + counts['cached']}"

@@ -1,0 +1,168 @@
+"""Campaign worker host: pull trials from a coordinator over HTTP.
+
+``repro campaign worker <url>`` is the client half of the multi-host
+protocol (:mod:`repro.campaign.coordinator`).  Any number of hosts run
+it against the same coordinator; each loops:
+
+1. ``POST /claim`` — receive a leased trial (or a back-off hint when
+   the queue is momentarily empty, or the campaign's final state);
+2. heartbeat ``POST /renew`` from a daemon thread at a third of the
+   lease lifetime while the trial computes;
+3. ``POST /complete`` with the result payload — the coordinator
+   writes its cache *before* journaling, so the worker never touches
+   shared state — or ``POST /fail`` with the failure taxonomy the
+   engine already uses (``trial-error`` deterministic / abort,
+   ``worker-error`` transient / bounded retry).
+
+Every network call goes through :func:`~repro.campaign.netretry
+.request_json` (timeout + capped jittered retries), so a flaky link
+or a coordinator restart is survived transparently.  A coordinator
+that stays unreachable past the retry budget makes the worker exit
+nonzero *without corrupting anything* — it holds no campaign state,
+so the lease simply expires and another host picks the trial up.
+
+Exit codes: 0 campaign finished, 1 campaign failed (deterministic
+trial error), 3 coordinator unreachable.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..harness.runner import TrialError, run_trial
+from ..harness.spec import Trial
+from .netretry import DEFAULT_POLICY, RetryPolicy, Unreachable, request_json
+
+#: Exit code when the coordinator cannot be reached within the retry
+#: budget (distinct from campaign failure so supervisors can restart).
+EXIT_UNREACHABLE = 3
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one lease at a third of its lifetime until stopped.
+
+    A refused renewal (unknown lease / past the per-trial timeout)
+    just means the coordinator will re-enqueue the trial; the worker
+    finishes anyway and uploads — completions are idempotent, so the
+    worst case is one harmlessly duplicated (deterministic) result.
+    """
+
+    def __init__(self, url: str, lease_id: str, lease_seconds: float,
+                 policy: RetryPolicy):
+        super().__init__(daemon=True, name=f"lease-{lease_id[:8]}")
+        self.url = url
+        self.lease_id = lease_id
+        self.interval = max(0.05, lease_seconds / 3.0)
+        self.policy = policy
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                request_json(f"{self.url}/renew",
+                             payload={"lease": self.lease_id},
+                             policy=self.policy,
+                             key=("renew", self.lease_id))
+            except Unreachable:
+                # Keep trying on the next beat: the trial is still
+                # worth finishing, and the lease may outlive a brief
+                # partition or coordinator restart.
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def default_host_id() -> str:
+    """Stable-ish identity for journal/status display: host + pid."""
+    import os
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def run_worker(url: str, host: Optional[str] = None,
+               runner: Optional[Callable[[Trial], Dict[str, Any]]] = None,
+               policy: RetryPolicy = DEFAULT_POLICY,
+               poll: float = 0.5,
+               announce: Optional[Callable[[str], None]] = None,
+               max_trials: Optional[int] = None) -> int:
+    """Pull and run trials from ``url`` until the campaign settles.
+
+    Returns the process exit code (see module docstring).
+    ``max_trials`` bounds how many trials this worker computes —
+    ``None`` runs until the campaign finishes or fails (tests use
+    small bounds to exercise partial progress).
+    """
+    base = str(url).rstrip("/")
+    host = host or default_host_id()
+    runner = runner or run_trial
+    say = announce or (lambda line: None)
+    done = 0
+    while True:
+        if max_trials is not None and done >= max_trials:
+            say(f"worker {host}: reached --max-trials {max_trials}")
+            return 0
+        try:
+            code, claim = request_json(
+                f"{base}/claim", payload={"host": host}, policy=policy,
+                key=("claim", host, done))
+        except Unreachable as exc:
+            say(f"worker {host}: coordinator unreachable ({exc})")
+            return EXIT_UNREACHABLE
+        if code != 200 or not isinstance(claim, dict):
+            say(f"worker {host}: bad claim response (HTTP {code})")
+            return EXIT_UNREACHABLE
+        if claim.get("done"):
+            say(f"worker {host}: campaign finished ({done} trial(s) "
+                f"computed here)")
+            return 0
+        if claim.get("state") == "failed":
+            say(f"worker {host}: campaign failed: {claim.get('error')}")
+            return 1
+        if "lease" not in claim:
+            time.sleep(min(float(claim.get("retry_after", poll)),
+                           max(poll, 0.05)))
+            continue
+
+        lease_id = claim["lease"]
+        trial = Trial.from_dict(claim["trial"])
+        beat = _Heartbeat(base, lease_id,
+                          float(claim.get("lease_seconds", 30.0)), policy)
+        beat.start()
+        try:
+            payload: Dict[str, Any] = {
+                "lease": lease_id, "host": host,
+                "sweep": claim["sweep"], "index": claim["index"],
+                "spec_hash": claim.get("spec_hash", trial.spec_hash()),
+            }
+            try:
+                result = runner(trial)
+            except TrialError as exc:
+                payload.update(kind="trial-error", reason=str(exc))
+                endpoint = "fail"
+            except Exception as exc:
+                payload.update(kind="worker-error",
+                               reason=f"{type(exc).__name__}: {exc}")
+                endpoint = "fail"
+            else:
+                payload["result"] = result
+                endpoint = "complete"
+        finally:
+            beat.stop()
+        try:
+            request_json(f"{base}/{endpoint}", payload=payload,
+                         policy=policy, key=(endpoint, lease_id))
+        except Unreachable as exc:
+            # The lease will expire and the trial re-runs elsewhere —
+            # nothing is lost but this host's work.
+            say(f"worker {host}: could not report trial "
+                f"{trial.label!r} ({exc})")
+            return EXIT_UNREACHABLE
+        if endpoint == "complete":
+            done += 1
+            say(f"worker {host}: {trial.label}: done")
+        else:
+            say(f"worker {host}: {trial.label}: "
+                f"{payload['kind']}: {payload['reason']}")

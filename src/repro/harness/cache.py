@@ -23,10 +23,15 @@ Storage is a :class:`CacheBackend`:
   a single artifact to ship around, and the natural store for
   :mod:`repro.campaign` runs that want their whole state in one
   directory.
+* :class:`repro.campaign.httpcache.HttpCacheBackend` (URI =
+  ``http://host:port``) stores records behind a campaign coordinator
+  or standalone cache server on another host — the multi-host remote
+  store.  It lives with the campaign network stack; ``resolve_cache``
+  loads it lazily so this module stays free of network code.
 
 ``resolve_cache`` turns user-facing cache arguments into backends and
-understands ``dir:<path>`` / ``sqlite:<path>`` URIs; every backend
-reports its own URI via :meth:`CacheBackend.uri`.
+understands ``dir:<path>`` / ``sqlite:<path>`` / ``http://<url>``
+URIs; every backend reports its own URI via :meth:`CacheBackend.uri`.
 """
 
 from __future__ import annotations
@@ -375,7 +380,8 @@ def resolve_cache(cache="auto") -> Optional[CacheBackend]:
     * ``"auto"`` builds the default directory backend unless
       ``$REPRO_NO_CACHE=1``;
     * ``"dir:<path>"`` / ``"sqlite:<path>"`` URIs pick a backend
-      explicitly;
+      explicitly; ``"http://host:port"`` builds the remote backend
+      talking to a campaign coordinator or standalone cache server;
     * any other path-like builds a directory backend rooted there
       (the historical behaviour).
     """
@@ -394,4 +400,9 @@ def resolve_cache(cache="auto") -> Optional[CacheBackend]:
         if cache.startswith("sqlite:"):
             return SqliteCacheBackend(
                 path=pathlib.Path(cache[len("sqlite:"):]))
+        if cache.startswith(("http://", "https://")):
+            # Lazy import: the remote backend lives with the campaign
+            # network stack, keeping this module free of network code.
+            from ..campaign.httpcache import HttpCacheBackend
+            return HttpCacheBackend(cache)
     return DirectoryCacheBackend(root=pathlib.Path(cache))

@@ -17,7 +17,11 @@ Three executors ship today:
   fan-out (byte-identical to the serial path by construction);
 * :class:`repro.campaign.CampaignExecutor` — journaled, resumable,
   work-stealing execution for large campaigns (crash resume, retries,
-  per-trial timeouts, live status).
+  per-trial timeouts, live status).  Campaigns can also shard across
+  machines: a read-write coordinator
+  (:mod:`repro.campaign.coordinator`) leases trials to worker hosts
+  over HTTP, and ``http://`` cache URIs point any executor at a
+  remote result store.
 
 ``run_sweep`` remains the convenience entry point: it picks a serial or
 pool executor from the ``workers`` argument exactly as it always has.

@@ -1,0 +1,237 @@
+"""Fault injection for the multi-host campaign tests.
+
+Two ingredients:
+
+* :class:`FlakyProxy` — an in-process raw-TCP proxy that forwards
+  HTTP requests to a backend while injecting seeded, per-exchange
+  faults: drop the connection before forwarding, delay it, truncate
+  the request mid-body, or truncate the response mid-stream.  It
+  exploits the fact that both sides of the campaign protocol are
+  close-per-request (urllib sends ``Connection: close``; the stdlib
+  handlers default to HTTP/1.0), so one TCP connection carries
+  exactly one exchange and "read request until Content-Length, read
+  response until EOF" is a complete proxy.
+
+* child-process helpers mirroring ``test_resume``'s idiom: spawn
+  coordinators/workers in their own sessions (``start_new_session``)
+  so ``killpg`` is a clean host-death simulation, and poll the
+  journal to trigger kills at a chosen progress point.
+
+Everything is deterministic given the proxy seed; no test dependency
+beyond the stdlib.
+"""
+
+import os
+import random
+import signal
+import socket
+import socketserver
+import subprocess
+import sys
+import threading
+import time
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+_COORDINATOR_CHILD = """
+import sys
+from repro.campaign import coordinate
+sys.exit(coordinate(sys.argv[1], port=int(sys.argv[2]),
+                    lease_seconds=float(sys.argv[3]), until_done=True,
+                    announce=lambda line: print(line, flush=True)))
+"""
+
+_WORKER_CHILD = """
+import sys
+from repro.campaign import run_worker
+from repro.campaign.netretry import RetryPolicy
+# A worker must outlive proxy faults AND a coordinator kill+restart
+# window, so its retry budget is deliberately generous; delays stay
+# small to keep the test fast.
+policy = RetryPolicy(attempts=40, base_delay=0.05, max_delay=0.5,
+                     timeout=5.0)
+sys.exit(run_worker(sys.argv[1], host=sys.argv[2], policy=policy,
+                    poll=0.1,
+                    announce=lambda line: print(line, flush=True)))
+"""
+
+
+def child_env():
+    return dict(os.environ,
+                PYTHONPATH=os.pathsep.join(
+                    [SRC] + os.environ.get("PYTHONPATH", "").split(
+                        os.pathsep)).rstrip(os.pathsep))
+
+
+def spawn_coordinator(directory, port, lease_seconds=5.0, log=None):
+    """Coordinator child in its own session (killpg-able), fixed port
+    so workers and a restarted coordinator share the address."""
+    return subprocess.Popen(
+        [sys.executable, "-c", _COORDINATOR_CHILD, str(directory),
+         str(port), str(lease_seconds)],
+        env=child_env(), start_new_session=True,
+        stdout=log or subprocess.DEVNULL, stderr=subprocess.STDOUT)
+
+
+def spawn_worker(url, host, log=None):
+    return subprocess.Popen(
+        [sys.executable, "-c", _WORKER_CHILD, url, host],
+        env=child_env(), start_new_session=True,
+        stdout=log or subprocess.DEVNULL, stderr=subprocess.STDOUT)
+
+
+def kill_host(proc):
+    """SIGKILL a child's whole session — the power-cut primitive."""
+    if proc.poll() is None:
+        os.killpg(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_journal(journal_path, predicate, deadline=120.0,
+                     poll=0.01):
+    """Poll the journal text until ``predicate(text)`` holds."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            text = journal_path.read_text()
+        except OSError:
+            text = ""
+        if predicate(text):
+            return text
+        time.sleep(poll)
+    name = getattr(predicate, "__name__", repr(predicate))
+    raise AssertionError(f"journal never satisfied {name}")
+
+
+def done_count(journal_text):
+    return journal_text.count('"status": "done"')
+
+
+def _read_http_request(rfile):
+    """One full HTTP request (headers + Content-Length body) as bytes;
+    None if the client vanished first."""
+    head = b""
+    while b"\r\n\r\n" not in head:
+        chunk = rfile.read(1)
+        if not chunk:
+            return None
+        head += chunk
+        if len(head) > 64 * 1024:
+            return None
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            try:
+                length = int(line.split(b":", 1)[1].strip())
+            except ValueError:
+                return None
+    body = rfile.read(length) if length else b""
+    if len(body) != length:
+        return None
+    return head + body
+
+
+class FlakyProxy:
+    """Seeded fault-injecting TCP proxy in front of an HTTP backend.
+
+    Per exchange, with the configured probabilities (checked in this
+    order): drop the connection unanswered, truncate the request
+    before forwarding, truncate the response mid-stream, or delay the
+    exchange.  Everything else forwards verbatim.
+    """
+
+    def __init__(self, backend_port, seed=0, drop_rate=0.1,
+                 truncate_request_rate=0.05,
+                 truncate_response_rate=0.05,
+                 delay_rate=0.1, delay=0.05):
+        self.backend_port = backend_port
+        self.rng = random.Random(seed)
+        self.rng_lock = threading.Lock()
+        self.drop_rate = drop_rate
+        self.truncate_request_rate = truncate_request_rate
+        self.truncate_response_rate = truncate_response_rate
+        self.delay_rate = delay_rate
+        self.delay = delay
+        self.exchanges = 0
+        self.faults = 0
+
+        proxy = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                proxy._handle(self)
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self.server = _Server(("127.0.0.1", 0), _Handler)
+        self.port = self.server.server_address[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       daemon=True)
+
+    def start(self):
+        self.thread.start()
+        return self
+
+    def stop(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+    def _roll(self):
+        with self.rng_lock:
+            self.exchanges += 1
+            return (self.rng.random(), self.rng.random())
+
+    def _handle(self, handler):
+        fate, magnitude = self._roll()
+        request = _read_http_request(handler.rfile)
+        if request is None:
+            return
+        if fate < self.drop_rate:
+            self.faults += 1
+            return                       # connection dies unanswered
+        fate -= self.drop_rate
+        if fate < self.truncate_request_rate:
+            self.faults += 1
+            request = request[:max(1, int(len(request) * magnitude))]
+            truncate_response_at = 0     # nothing sane can come back
+        else:
+            fate -= self.truncate_request_rate
+            if fate < self.truncate_response_rate:
+                self.faults += 1
+                truncate_response_at = None    # decided once we know len
+            else:
+                fate -= self.truncate_response_rate
+                if fate < self.delay_rate:
+                    self.faults += 1
+                    time.sleep(self.delay)
+                truncate_response_at = -1      # forward everything
+        try:
+            with socket.create_connection(
+                    ("127.0.0.1", self.backend_port), timeout=10) as up:
+                up.sendall(request)
+                if truncate_response_at == 0:
+                    return
+                response = b""
+                up.settimeout(10)
+                while True:
+                    chunk = up.recv(65536)
+                    if not chunk:
+                        break
+                    response += chunk
+        except OSError:
+            return                       # backend down: drop silently
+        if truncate_response_at is None:
+            response = response[:max(1, int(len(response) * magnitude))]
+        try:
+            handler.wfile.write(response)
+        except OSError:
+            pass                         # client already gave up

@@ -203,6 +203,45 @@ class TestFaultTolerance:
             campaign.run(serial=True)
 
 
+class TestRetryBackoff:
+    """The pool's retry delays are capped and jittered — a giant
+    backoff base can no longer stall a campaign for hours, and trials
+    that fail together stop retrying in lockstep."""
+
+    def _pool(self, backoff):
+        from repro.campaign.engine import _WorkStealingPool
+        from repro.harness.spec import Trial
+        trials = {i: Trial(kind="window", params={"sled": i})
+                  for i in range(8)}
+        return _WorkStealingPool(
+            trials, workers=1, timeout=None, max_retries=10,
+            backoff=backoff, runner=lambda t: {},
+            on_done=lambda *a: None, on_retry=lambda *a: None)
+
+    def test_delay_is_capped(self):
+        import time
+
+        from repro.campaign.netretry import DEFAULT_MAX_DELAY
+        pool = self._pool(backoff=1000.0)
+        pool._schedule_retry(0, "boom")
+        ready_time, index = pool.delayed[0]
+        assert index == 0
+        # Uncapped, attempt 1 would already wait 1000s.
+        assert ready_time - time.monotonic() <= DEFAULT_MAX_DELAY + 0.1
+
+    def test_distinct_trials_draw_distinct_delays(self):
+        pool = self._pool(backoff=0.25)
+        for index in range(8):
+            pool._schedule_retry(index, "boom")
+        delays = {ready for ready, _ in pool.delayed}
+        assert len(delays) > 1
+
+    def test_same_trial_same_attempt_is_reproducible(self):
+        from repro.campaign.netretry import backoff_delay
+        assert backoff_delay(0.25, 2, key=("pool", 3)) \
+            == backoff_delay(0.25, 2, key=("pool", 3))
+
+
 class TestManifestDefaults:
     def test_manifest_records_execution_policy(self, tmp_path):
         campaign = Campaign.create(

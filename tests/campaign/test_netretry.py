@@ -1,0 +1,150 @@
+"""Unit tests for the capped-jitter backoff and the retrying HTTP
+JSON client (no real network beyond loopback)."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.campaign.netretry import (DEFAULT_MAX_DELAY, RetryPolicy,
+                                     Unreachable, backoff_delay,
+                                     request_json)
+
+
+class TestBackoffDelay:
+    def test_never_exceeds_cap(self):
+        for attempt in range(1, 40):
+            delay = backoff_delay(0.25, attempt, cap=5.0,
+                                  key=("t", attempt))
+            assert 0.0 <= delay <= 5.0
+
+    def test_default_cap_bounds_huge_bases(self):
+        # The uncapped formula would be 1000 * 2**19 seconds here.
+        assert backoff_delay(1000.0, 20, key=("t", 1)) \
+            <= DEFAULT_MAX_DELAY
+
+    def test_keyed_draws_are_deterministic(self):
+        a = backoff_delay(0.25, 3, key=("pool", 7))
+        b = backoff_delay(0.25, 3, key=("pool", 7))
+        assert a == b
+
+    def test_distinct_keys_desynchronize(self):
+        # Full jitter exists to break retry lockstep: trials failing
+        # together must not sleep identically.
+        delays = {backoff_delay(0.25, 2, key=("pool", i))
+                  for i in range(16)}
+        assert len(delays) > 1
+
+    def test_attempts_share_the_exponential_ceiling(self):
+        base = 0.25
+        for attempt in (1, 2, 3, 4):
+            ceiling = min(DEFAULT_MAX_DELAY, base * 2 ** (attempt - 1))
+            assert backoff_delay(base, attempt,
+                                 key=("x", attempt)) <= ceiling
+
+    def test_zero_base_is_zero(self):
+        assert backoff_delay(0.0, 5, key=("t", 1)) == 0.0
+
+    def test_unkeyed_draw_is_bounded(self):
+        assert 0.0 <= backoff_delay(0.25, 2) <= 0.5
+
+
+class _Script(BaseHTTPRequestHandler):
+    """Responds per a scripted list shared via the class: each entry is
+    an (status, payload) pair or the string "hang-up"."""
+
+    script = None
+    seen = None
+
+    def log_message(self, fmt, *args):
+        pass
+
+    def _serve(self):
+        self.seen.append((self.command, self.path))
+        step = self.script.pop(0) if self.script else (200, {})
+        if step == "hang-up":
+            # Close without a response — what a dropped connection or
+            # the chaos proxy's "drop" fault looks like to the client.
+            self.connection.close()
+            return
+        status, payload = step
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = _serve
+
+
+@pytest.fixture
+def scripted_server():
+    made = []
+
+    def make(script):
+        handler = type("H", (_Script,), {"script": script, "seen": []})
+        server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        made.append(server)
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        return url, handler
+    yield make
+    for server in made:
+        server.shutdown()
+        server.server_close()
+
+
+FAST = RetryPolicy(attempts=4, base_delay=0.0, max_delay=0.0,
+                   timeout=5.0)
+
+
+class TestRequestJson:
+    def test_get_and_post_round_trip(self, scripted_server):
+        url, handler = scripted_server([(200, {"x": 1}), (200, {"y": 2})])
+        assert request_json(f"{url}/a", policy=FAST) == (200, {"x": 1})
+        assert request_json(f"{url}/b", payload={"in": 3},
+                            policy=FAST) == (200, {"y": 2})
+        assert handler.seen == [("GET", "/a"), ("POST", "/b")]
+
+    def test_retries_through_dropped_connections(self, scripted_server):
+        url, handler = scripted_server(
+            ["hang-up", "hang-up", (200, {"ok": True})])
+        assert request_json(url, policy=FAST) == (200, {"ok": True})
+        assert len(handler.seen) == 3
+
+    def test_retries_5xx(self, scripted_server):
+        url, _ = scripted_server([(503, {"busy": True}),
+                                  (200, {"ok": True})])
+        assert request_json(url, policy=FAST) == (200, {"ok": True})
+
+    def test_4xx_returns_without_retry(self, scripted_server):
+        url, handler = scripted_server([(404, {"error": "nope"})])
+        code, body = request_json(url, policy=FAST)
+        assert code == 404 and body == {"error": "nope"}
+        assert len(handler.seen) == 1
+
+    def test_unreachable_after_budget(self, scripted_server):
+        url, handler = scripted_server(["hang-up"] * 10)
+        with pytest.raises(Unreachable):
+            request_json(url, policy=FAST)
+        assert len(handler.seen) == FAST.attempts
+
+    def test_no_listener_is_unreachable(self):
+        with pytest.raises(Unreachable):
+            request_json("http://127.0.0.1:1/",
+                         policy=RetryPolicy(attempts=2, base_delay=0.0,
+                                            max_delay=0.0, timeout=0.5))
+
+    def test_sleeps_follow_policy_jitter(self, scripted_server):
+        url, _ = scripted_server(["hang-up"] * 10)
+        slept = []
+        policy = RetryPolicy(attempts=3, base_delay=0.2, max_delay=1.0,
+                             timeout=5.0)
+        with pytest.raises(Unreachable):
+            request_json(url, policy=policy, key=("test", 1),
+                         sleep=slept.append)
+        assert len(slept) == 2                 # between 3 attempts
+        for attempt, delay in enumerate(slept, start=1):
+            assert 0.0 <= delay <= min(1.0, 0.2 * 2 ** (attempt - 1))

@@ -167,7 +167,71 @@ class TestServer:
     def test_server_never_writes_to_the_campaign(self, served_campaign,
                                                  tmp_path):
         before = sorted(p.name for p in (tmp_path / "camp").iterdir())
-        for path in ("/", "/status", "/manifest", "/result/demo"):
+        for path in ("/", "/status", "/manifest", "/result/demo",
+                     "/healthz"):
             fetch(served_campaign + path)
         after = sorted(p.name for p in (tmp_path / "camp").iterdir())
         assert after == before
+
+    def test_healthz_reports_ok_with_journal_figures(
+            self, served_campaign, tmp_path):
+        code, payload = fetch(served_campaign + "/healthz")
+        assert code == 200
+        assert payload["status"] == "ok"
+        journal = (tmp_path / "camp" / "journal.jsonl").read_text()
+        assert payload["journal_lines"] == len(journal.splitlines())
+        assert payload["journal_events"] >= 1
+
+    def test_healthz_503_when_campaign_state_unreadable(self, tmp_path):
+        # A directory with no campaign in it: the manifest probe fails.
+        (tmp_path / "empty").mkdir()
+        server = make_server(tmp_path / "empty")
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"http://{host}:{port}/healthz")
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert body["status"] == "unhealthy"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestSigterm:
+    def test_serve_shuts_down_cleanly_on_sigterm(self, tmp_path):
+        """A supervisor's TERM must exit 0 via the KeyboardInterrupt
+        path, not linger until a hard kill."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from ._chaos import SRC, child_env
+        campaign = Campaign.create(tmp_path / "camp", small_sweep())
+        campaign.run(workers=1)
+        child = (
+            "import sys\n"
+            "from repro.campaign import serve\n"
+            "serve(sys.argv[1], port=0,\n"
+            "      announce=lambda line: print(line, flush=True))\n"
+            "print('clean-exit', flush=True)\n")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child, str(tmp_path / "camp")],
+            env=child_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        try:
+            assert "serving campaign" in proc.stdout.readline()
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert proc.returncode == 0
+        assert "clean-exit" in out

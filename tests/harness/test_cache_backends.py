@@ -1,11 +1,14 @@
 """Backend-conformance suite: every CacheBackend behaves identically.
 
-The same battery runs against the directory and sqlite backends —
-anything observable through the public surface (get/put/contains/
+The same battery runs against the directory, sqlite and http backends
+— anything observable through the public surface (get/put/contains/
 evict/stats/clear/count/uri) must not depend on the storage scheme.
+The http backend runs in front of a real loopback cache server, so
+every conformance assertion also exercises the wire protocol.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -20,13 +23,31 @@ def make_trial(sled=64) -> Trial:
                             "config_base": "small"})
 
 
-@pytest.fixture(params=["dir", "sqlite"])
+@pytest.fixture(params=["dir", "sqlite", "http"])
 def backend(request, tmp_path) -> CacheBackend:
     if request.param == "dir":
-        return DirectoryCacheBackend(root=tmp_path / "cache",
-                                     code_version="v1")
-    return SqliteCacheBackend(path=tmp_path / "cache.sqlite",
-                              code_version="v1")
+        yield DirectoryCacheBackend(root=tmp_path / "cache",
+                                    code_version="v1")
+        return
+    if request.param == "sqlite":
+        yield SqliteCacheBackend(path=tmp_path / "cache.sqlite",
+                                 code_version="v1")
+        return
+    from repro.campaign.httpcache import (HttpCacheBackend,
+                                          make_cache_server)
+    from repro.campaign.netretry import RetryPolicy
+    server = make_cache_server(
+        DirectoryCacheBackend(root=tmp_path / "remote",
+                              code_version="v1"))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    yield HttpCacheBackend(f"http://{host}:{port}", code_version="v1",
+                           policy=RetryPolicy(attempts=3,
+                                              base_delay=0.01,
+                                              max_delay=0.05,
+                                              timeout=5.0))
+    server.shutdown()
+    server.server_close()
 
 
 class TestConformance:
@@ -136,6 +157,154 @@ class TestCorruptionResilience:
         assert backend.get(trial) is None
 
 
+class TestHttpDegradation:
+    """The remote backend must never change experiment outcomes: an
+    unreachable or flaky server degrades to a cache miss."""
+
+    def _offline_backend(self):
+        from repro.campaign.httpcache import HttpCacheBackend
+        from repro.campaign.netretry import RetryPolicy
+        from tests.campaign._chaos import free_port
+        return HttpCacheBackend(
+            f"http://127.0.0.1:{free_port()}", code_version="v1",
+            policy=RetryPolicy(attempts=2, base_delay=0.0,
+                               max_delay=0.0, timeout=0.5))
+
+    def test_unreachable_server_degrades_to_miss(self):
+        backend = self._offline_backend()
+        trial = make_trial()
+        assert backend.get(trial) is None
+        backend.put(trial, {"ok": True})        # swallowed, no raise
+        assert not backend.contains(trial)
+        assert not backend.evict(trial)
+        assert backend.count() == 0
+        assert backend.clear() == 0
+        assert backend.stats()["misses"] == 1
+
+    def test_server_restart_recovers(self, tmp_path):
+        from repro.campaign.httpcache import (HttpCacheBackend,
+                                              make_cache_server)
+        from repro.campaign.netretry import RetryPolicy
+        store = DirectoryCacheBackend(root=tmp_path / "remote",
+                                      code_version="v1")
+        server = make_cache_server(store)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        backend = HttpCacheBackend(
+            f"http://{host}:{port}", code_version="v1",
+            policy=RetryPolicy(attempts=2, base_delay=0.0,
+                               max_delay=0.0, timeout=0.5))
+        trial = make_trial()
+        backend.put(trial, {"ok": True})
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        assert backend.get(trial) is None       # down: miss, no raise
+        # Same port, same on-disk store — the record survived.
+        server = make_cache_server(store, host=host, port=port)
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        try:
+            assert backend.get(trial) == {"ok": True}
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_server_rejects_traversal_keys(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        from repro.campaign.httpcache import make_cache_server
+        server = make_cache_server(
+            DirectoryCacheBackend(root=tmp_path / "remote",
+                                  code_version="v1"))
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        try:
+            for ugly in ("..%2f..%2fsecrets", "UPPER", "zz!", "a" * 200):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        f"http://{host}:{port}/cache/{ugly}", timeout=5)
+                assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+_SQLITE_WRITER = """
+import sys
+from repro.harness.cache import SqliteCacheBackend
+from repro.harness.spec import Trial
+
+path, offset, count = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+backend = SqliteCacheBackend(path=path, code_version="v1")
+for i in range(count):
+    sled = offset + i
+    trial = Trial("window", {"runahead": "none", "sled": sled,
+                             "config_base": "small"})
+    backend.put(trial, {"sled": sled})
+    if backend.get(trial) != {"sled": sled}:
+        sys.exit(1)
+sys.exit(0)
+"""
+
+
+class TestSqliteConcurrency:
+    """Several OS processes hammering one sqlite store never corrupt
+    it — the property the multi-host coordinator's serialized writes
+    rely on, and the reason ``sqlite:`` is safe on shared filesystems.
+    """
+
+    def test_concurrent_multiprocess_writers(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        path = tmp_path / "shared.sqlite"
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + os.environ.get("PYTHONPATH", "").split(os.pathsep))
+            .rstrip(os.pathsep))
+        writers, per_writer = 4, 25
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", _SQLITE_WRITER, str(path),
+             str(w * per_writer), str(per_writer)], env=env)
+            for w in range(writers)]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        backend = SqliteCacheBackend(path=path, code_version="v1")
+        assert backend.count() == writers * per_writer
+        for sled in range(writers * per_writer):
+            assert backend.get(make_trial(sled)) == {"sled": sled}
+        import sqlite3
+        with sqlite3.connect(path) as conn:
+            assert conn.execute("PRAGMA integrity_check").fetchone() \
+                == ("ok",)
+
+    def test_overlapping_writers_last_write_wins(self, tmp_path):
+        """Two processes writing the SAME keys: no corruption, and
+        every record is one of the written values."""
+        import os
+        import subprocess
+        import sys
+        path = tmp_path / "shared.sqlite"
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + os.environ.get("PYTHONPATH", "").split(os.pathsep))
+            .rstrip(os.pathsep))
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", _SQLITE_WRITER, str(path), "0", "20"],
+            env=env) for _ in range(2)]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        backend = SqliteCacheBackend(path=path, code_version="v1")
+        assert backend.count() == 20
+        for sled in range(20):
+            assert backend.get(make_trial(sled)) == {"sled": sled}
+
+
 class TestResolveCache:
     def test_none_and_false_disable(self):
         assert resolve_cache(None) is None
@@ -155,6 +324,12 @@ class TestResolveCache:
         backend = resolve_cache(f"sqlite:{tmp_path / 'store.sqlite'}")
         assert isinstance(backend, SqliteCacheBackend)
         assert backend.path == tmp_path / "store.sqlite"
+
+    def test_http_uri(self):
+        from repro.campaign.httpcache import HttpCacheBackend
+        backend = resolve_cache("http://127.0.0.1:9999")
+        assert isinstance(backend, HttpCacheBackend)
+        assert backend.uri() == "http://127.0.0.1:9999"
 
     def test_plain_path_is_directory_backend(self, tmp_path):
         backend = resolve_cache(str(tmp_path / "legacy"))
