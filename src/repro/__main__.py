@@ -315,6 +315,46 @@ def _cmd_trace_help(args) -> int:
     return 2
 
 
+def _cmd_obs_record(args) -> int:
+    from .harness.registry import get_workload, make_controller
+    from .obs import FileSink
+
+    workload = get_workload(args.workload)
+    controller = make_controller(args.runahead) if args.runahead else None
+    out = args.out or f"{args.workload}.evt"
+    sink = FileSink(out)
+    try:
+        core = workload.run(runahead=controller, trace=sink,
+                            max_cycles=args.max_cycles)
+    finally:
+        sink.close()
+    stats = core.stats
+    print(f"{args.workload}: {stats.cycles} cycles, "
+          f"{stats.committed} committed, IPC {stats.ipc:.3f}")
+    print(f"wrote {out}  ({sink.count} events; "
+          f"view with: repro obs view {out})")
+    return 0
+
+
+def _cmd_obs_view(args) -> int:
+    from .obs import load_events, render_html, render_text, \
+        summarize_events
+
+    events = load_events(args.trace)
+    summary = summarize_events(events, bins=args.bins)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(summary, title=args.trace))
+        print(f"wrote {args.html}", file=sys.stderr)
+    print(render_text(summary))
+    return 0
+
+
+def _cmd_obs_help(args) -> int:
+    args.obs_parser.print_help()
+    return 2
+
+
 def _cmd_report(args) -> int:
     source = args.source
     if source.endswith(".json"):
@@ -408,7 +448,8 @@ def _cmd_campaign_serve(args) -> int:
     from .campaign import serve
 
     serve(args.dir, host=args.host, port=args.port,
-          announce=lambda line: print(line, file=sys.stderr))
+          announce=lambda line: print(line, file=sys.stderr),
+          dashboard=args.dashboard)
     return 0
 
 
@@ -419,7 +460,8 @@ def _cmd_campaign_coordinate(args) -> int:
         args.dir, host=args.host, port=args.port,
         lease_seconds=args.lease, until_done=args.until_done,
         announce=lambda line: print(line, file=sys.stderr),
-        progress=lambda line: print(line, file=sys.stderr))
+        progress=lambda line: print(line, file=sys.stderr),
+        dashboard=args.dashboard)
 
 
 def _cmd_campaign_worker(args) -> int:
@@ -453,6 +495,11 @@ def _cmd_bench_perf(args) -> int:
         # documenting the before/after trajectory.
         if "history" in baseline:
             payload["history"] = baseline["history"]
+    elif args.out and os.path.exists(args.out):
+        previous = perfbench.load_payload(args.out)
+        if "history" in previous:
+            payload["history"] = previous["history"]
+    perfbench.append_history(payload)
     if args.out:
         perfbench.dump_payload(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -463,6 +510,8 @@ def _cmd_bench_perf(args) -> int:
               f"({sweep['trials']} trials, {sweep['workers']} worker(s))")
     if baseline is None:
         return 0
+    print(f"\ndelta vs {args.compare}:")
+    print(perfbench.render_delta(payload, baseline))
     problems = perfbench.compare(payload, baseline,
                                  tolerance=args.tolerance)
     if problems:
@@ -596,6 +645,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "(mcf/stream/gcc/zipf or trace-<family>)")
     p_info.set_defaults(func=_cmd_trace_info)
 
+    p_obs = sub.add_parser(
+        "obs", help="record / view micro-architectural event traces")
+    osub = p_obs.add_subparsers(dest="obs_command")
+    p_obs.set_defaults(func=_cmd_obs_help, obs_parser=p_obs)
+    p_orecord = osub.add_parser(
+        "record", help="run a workload with a .evt trace sink attached")
+    p_orecord.add_argument("workload",
+                           help="workload registry name (e.g. mcf, lbm)")
+    p_orecord.add_argument("--runahead", default="original",
+                           help="runahead controller "
+                                "(registry name; default: original)")
+    p_orecord.add_argument("--out", default=None,
+                           help="output file (default: <workload>.evt)")
+    p_orecord.add_argument("--max-cycles", type=int, default=5_000_000,
+                           help="cycle budget (default 5M)")
+    p_orecord.set_defaults(func=_cmd_obs_record)
+    p_oview = osub.add_parser(
+        "view", help="render a .evt trace as a pipeline timeline")
+    p_oview.add_argument("trace", help="a .evt file from 'obs record'")
+    p_oview.add_argument("--html", default=None, metavar="OUT",
+                         help="also write a self-contained HTML page")
+    p_oview.add_argument("--bins", type=int, default=64,
+                         help="timeline resolution (default 64)")
+    p_oview.set_defaults(func=_cmd_obs_view)
+
     p_campaign = sub.add_parser(
         "campaign",
         help="journaled, resumable multi-sweep campaigns "
@@ -662,6 +736,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cserve.add_argument("--port", type=int, default=8008,
                           help="TCP port, 0 picks a free one "
                                "(default 8008)")
+    p_cserve.add_argument("--dashboard", action="store_true",
+                          help="also serve the single-file HTML "
+                               "dashboard (/dashboard, /timeline)")
     p_cserve.set_defaults(func=_cmd_campaign_serve)
 
     p_ccoord = csub.add_parser(
@@ -683,6 +760,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ccoord.add_argument("--until-done", action="store_true",
                           help="exit when the campaign finishes or "
                                "fails instead of serving forever")
+    p_ccoord.add_argument("--dashboard", action="store_true",
+                          help="also serve the single-file HTML "
+                               "dashboard (/dashboard, /timeline)")
     p_ccoord.set_defaults(func=_cmd_campaign_coordinate)
 
     p_cworker = csub.add_parser(

@@ -32,7 +32,9 @@ execution exactly as safe as PR 6's single-host pool:
   accepted by spec-hash, never trusted blindly.
 
 Read endpoints (``/``, ``/status``, ``/manifest``, ``/healthz``,
-``/result/<sweep>``) are the status server's, unchanged; ``/cache``
+``/metrics``, ``/result/<sweep>``, and with ``--dashboard`` the
+``/dashboard`` + ``/timeline`` pair) are the status server's,
+unchanged; ``/cache``
 mounts the store for :class:`~repro.campaign.httpcache.HttpCacheBackend`
 clients; ``/coordinator`` reports live queue/lease state.
 """
@@ -50,6 +52,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..harness.executor import SweepResult, plan_sweep
 from ..harness.spec import Trial
+from ..obs.metrics import get_registry
 from .engine import Campaign
 from .httpcache import CacheRoutes, read_json_body
 from .netretry import backoff_delay
@@ -115,6 +118,44 @@ class CoordinatorState:
         self.error: Optional[str] = None
         self.finished = False
 
+        registry = get_registry()
+        self._m_claims = registry.counter(
+            "repro_coordinator_claims_total",
+            "Claim requests by outcome", labels={"outcome": "granted"})
+        self._m_claims_empty = registry.counter(
+            "repro_coordinator_claims_total",
+            "Claim requests by outcome", labels={"outcome": "empty"})
+        self._m_renewals = registry.counter(
+            "repro_coordinator_renewals_total",
+            "Lease heartbeats accepted")
+        self._m_completions = registry.counter(
+            "repro_coordinator_completions_total",
+            "Trial uploads by outcome", labels={"outcome": "ok"})
+        self._m_duplicates = registry.counter(
+            "repro_coordinator_completions_total",
+            "Trial uploads by outcome", labels={"outcome": "duplicate"})
+        self._m_failures = registry.counter(
+            "repro_coordinator_failures_total",
+            "Worker-reported trial failures")
+        self._m_expirations = registry.counter(
+            "repro_coordinator_lease_expirations_total",
+            "Leases expired by the reconcile loop")
+        self._g_queued = registry.gauge(
+            "repro_coordinator_queued", "Trials ready to lease")
+        self._g_leased = registry.gauge(
+            "repro_coordinator_leased", "Trials currently leased out")
+        self._g_unfinished = registry.gauge(
+            "repro_coordinator_unfinished",
+            "Trials not yet completed")
+        self._g_hosts = registry.gauge(
+            "repro_coordinator_hosts", "Distinct worker hosts seen")
+        self._trial_timer = registry.histogram(
+            "repro_campaign_trial_seconds",
+            "Per-trial compute wall time inside the campaign engine")
+        self._m_retries = registry.counter(
+            "repro_campaign_retries_total",
+            "Trial retries scheduled by the campaign engine")
+
         for sweep in campaign.sweeps():
             plan = plan_sweep(sweep, cache=self.store, progress=progress)
             self.plans[sweep.name] = plan
@@ -144,6 +185,14 @@ class CoordinatorState:
             for name in list(self.plans):
                 self._maybe_seal(name)
             self._maybe_finish()
+            self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        """Refresh the point-in-time metrics (caller holds the lock)."""
+        self._g_queued.set(len(self.queue))
+        self._g_leased.set(len(self.leases))
+        self._g_unfinished.set(len(self.unfinished))
+        self._g_hosts.set(len(self.hosts))
 
     # -------------------------------------------------- write routes
 
@@ -157,6 +206,8 @@ class CoordinatorState:
             self.hosts.add(host)
             key = self._next_ready()
             if key is None:
+                self._m_claims_empty.inc()
+                self._update_gauges()
                 return 200, {"retry_after": self._poll_hint()}
             lease_id = uuid.uuid4().hex
             now = time.monotonic()
@@ -170,6 +221,8 @@ class CoordinatorState:
                 "event": "lease", "run": self.run_id, "sweep": sweep,
                 "index": index, "host": host, "lease": lease_id,
                 "expires": round(time.time() + (lease.expires - now), 3)})
+            self._m_claims.inc()
+            self._update_gauges()
             return 200, {
                 "lease": lease_id, "sweep": sweep, "index": index,
                 "trial": self.trials[key].to_dict(),
@@ -193,6 +246,7 @@ class CoordinatorState:
                 "event": "renew", "run": self.run_id,
                 "sweep": lease.key[0], "index": lease.key[1],
                 "host": lease.host, "lease": lease_id})
+            self._m_renewals.inc()
             return 200, {"ok": True,
                          "lease_seconds": self.lease_seconds}
 
@@ -218,6 +272,7 @@ class CoordinatorState:
                 elapsed = None
             trial = self.trials.get(key)
             if trial is None or key not in self.unfinished:
+                self._m_duplicates.inc()
                 return 200, {"ok": True, "duplicate": True}
             if body.get("spec_hash") not in (None, trial.spec_hash()):
                 return 409, {"error": "spec hash mismatch — different "
@@ -236,8 +291,12 @@ class CoordinatorState:
             if elapsed is not None:
                 event["elapsed"] = round(elapsed, 6)
             self.cdir.append_event(event)
+            self._m_completions.inc()
+            if elapsed is not None:
+                self._trial_timer.observe(elapsed)
             self._maybe_seal(sweep)
             self._maybe_finish()
+            self._update_gauges()
             return 200, {"ok": True}
 
     def fail(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
@@ -253,6 +312,7 @@ class CoordinatorState:
                 key = (body.get("sweep"), body.get("index"))
             if key not in self.unfinished:
                 return 200, {"ok": True, "duplicate": True}
+            self._m_failures.inc()
             if kind == "trial-error":
                 # Deterministic failure: rerunning can only fail the
                 # same way — abort the campaign, exactly like the pool.
@@ -292,7 +352,9 @@ class CoordinatorState:
                 "event": "lease-expired", "run": self.run_id,
                 "sweep": lease.key[0], "index": lease.key[1],
                 "host": lease.host, "lease": lease_id})
+            self._m_expirations.inc()
             self._schedule_retry(lease.key, reason)
+        self._update_gauges()
 
     def _schedule_retry(self, key: Tuple[str, int], reason: str) -> None:
         if self.error is not None or key not in self.unfinished:
@@ -306,6 +368,7 @@ class CoordinatorState:
                         f"{reason}")
             return
         self.retries[key] = attempt
+        self._m_retries.inc()
         self.cdir.append_event({
             "event": "retry", "run": self.run_id, "sweep": key[0],
             "index": key[1], "attempt": attempt, "reason": reason})
@@ -419,7 +482,9 @@ class CoordinatorRequestHandler(BaseHTTPRequestHandler):
                 else json.dumps(payload, sort_keys=True, indent=2))
         data = body.encode("utf-8")
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type",
+                         getattr(payload, "content_type",
+                                 "application/json"))
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         if data and self.command != "HEAD":
@@ -450,7 +515,8 @@ class CoordinatorRequestHandler(BaseHTTPRequestHandler):
             self._respond(404, {
                 "error": f"unknown path {path!r}",
                 "endpoints": ["/", "/status", "/manifest", "/healthz",
-                              "/coordinator", "/result/<sweep>",
+                              "/metrics", "/coordinator",
+                              "/result/<sweep>",
                               "/cache/<key>", "/claim", "/renew",
                               "/complete", "/fail"]})
 
@@ -532,16 +598,20 @@ class _ReconcileLoop(threading.Thread):
 
 def make_coordinator(directory, host: str = "127.0.0.1", port: int = 0,
                      lease_seconds: float = DEFAULT_LEASE_SECONDS,
-                     progress: Optional[Callable[[str], None]] = None) \
+                     progress: Optional[Callable[[str], None]] = None,
+                     dashboard: bool = False) \
         -> Tuple[ThreadingHTTPServer, CoordinatorState, _ReconcileLoop]:
     """Open the campaign, build (don't start) the coordinator server
-    plus its reconciliation loop; ``port=0`` picks a free port."""
+    plus its reconciliation loop; ``port=0`` picks a free port.
+    ``dashboard=True`` adds the ``/dashboard`` + ``/timeline`` pair on
+    top of the status server's routes (``/metrics`` is always on)."""
     campaign = Campaign.open(directory)
     state = CoordinatorState(campaign, lease_seconds=lease_seconds,
                              progress=progress)
     handler = type("BoundCoordinatorHandler", (CoordinatorRequestHandler,),
                    {"state": state,
-                    "routes": read_routes(directory),
+                    "routes": read_routes(directory,
+                                          dashboard=dashboard),
                     "cache_routes": CacheRoutes(state.store, state.lock)})
     server = ThreadingHTTPServer((host, port), handler)
     loop = _ReconcileLoop(state)
@@ -551,7 +621,8 @@ def make_coordinator(directory, host: str = "127.0.0.1", port: int = 0,
 def coordinate(directory, host: str = "127.0.0.1", port: int = 8008,
                lease_seconds: float = DEFAULT_LEASE_SECONDS,
                until_done: bool = False, announce=None,
-               progress: Optional[Callable[[str], None]] = None) -> int:
+               progress: Optional[Callable[[str], None]] = None,
+               dashboard: bool = False) -> int:
     """Run the coordinator until interrupted (SIGINT/SIGTERM both shut
     down cleanly) — or, with ``until_done``, until the campaign
     finishes or fails.  Returns a CLI exit code: 0 finished/stopped,
@@ -559,7 +630,7 @@ def coordinate(directory, host: str = "127.0.0.1", port: int = 8008,
     """
     server, state, loop = make_coordinator(
         directory, host=host, port=port, lease_seconds=lease_seconds,
-        progress=progress)
+        progress=progress, dashboard=dashboard)
     install_sigterm_handler()
     bound_host, bound_port = server.server_address[:2]
     # Everything after handler installation sits inside the try: a

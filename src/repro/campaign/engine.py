@@ -41,6 +41,7 @@ from ..harness.executor import (Executor, SweepResult, default_workers,
                                 plan_sweep)
 from ..harness.runner import TrialError, run_trial
 from ..harness.spec import Sweep, Trial
+from ..obs.metrics import get_registry
 from .journal import CampaignDir, CampaignError
 from .netretry import backoff_delay
 
@@ -519,10 +520,25 @@ class Campaign:
             return
         trials = {index: trial for index, trial in plan.pending}
         sweep_name = plan.sweep.name
+        registry = get_registry()
+        queue_gauge = registry.gauge(
+            "repro_campaign_queue_depth",
+            "Pending (not yet completed) trials of the running sweep")
+        trial_timer = registry.histogram(
+            "repro_campaign_trial_seconds",
+            "Per-trial compute wall time inside the campaign engine")
+        retry_counter = registry.counter(
+            "repro_campaign_retries_total",
+            "Trial retries scheduled by the campaign engine")
+        remaining = [len(trials)]
+        queue_gauge.set(remaining[0])
 
         def on_done(index: int, payload: Dict[str, Any],
                     retries: int, elapsed: float) -> None:
             plan.finish(index, trials[index], payload)
+            remaining[0] -= 1
+            queue_gauge.set(remaining[0])
+            trial_timer.observe(elapsed)
             self.cdir.append_event({
                 "event": "trial", "run": run_id, "sweep": sweep_name,
                 "index": index, "spec_hash": trials[index].spec_hash(),
@@ -530,6 +546,7 @@ class Campaign:
                 "elapsed": round(elapsed, 6)})
 
         def on_retry(index: int, attempt: int, reason: str) -> None:
+            retry_counter.inc()
             self.cdir.append_event({
                 "event": "retry", "run": run_id, "sweep": sweep_name,
                 "index": index, "attempt": attempt, "reason": reason})

@@ -17,11 +17,21 @@ a byte to the campaign directory.  Endpoints:
                    readability figures, 503 when the campaign state
                    cannot be read — what supervisors (and the chaos
                    proxy in the test suite) poll
+``GET /metrics``   Prometheus text: journal-derived campaign gauges
+                   plus the process metrics registry (live executor /
+                   engine / coordinator series when this process is
+                   also computing)
+``GET /dashboard`` (``--dashboard`` only) the single-file HTML
+                   dashboard — static page, all data via JSON polling
+``GET /timeline``  (``--dashboard`` only) per-trial timeline rows
+                   reconstructed from journal events
 
-Every response is JSON; the server answers GET/HEAD only.  ``serve``
-installs a SIGTERM handler so supervisors can stop it cleanly (the
-read-write coordinator, :mod:`repro.campaign.coordinator`, reuses the
-same routes and shutdown path on top of its write endpoints).
+Responses are JSON unless the payload carries its own content type
+(``/metrics`` is Prometheus text, ``/dashboard`` is HTML); the server
+answers GET/HEAD only.  ``serve`` installs a SIGTERM handler so
+supervisors can stop it cleanly (the read-write coordinator,
+:mod:`repro.campaign.coordinator`, reuses the same routes and shutdown
+path on top of its write endpoints).
 """
 
 from __future__ import annotations
@@ -32,11 +42,25 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from ..obs.campaign import dashboard_html, journal_timeline, \
+    status_metrics
 from .journal import CampaignDir, CampaignError
 from .status import campaign_status
 
 
-def _routes(directory):
+class PlainText(str):
+    """A response body that is Prometheus text, not JSON."""
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class HtmlText(str):
+    """A response body that is HTML, not JSON."""
+
+    content_type = "text/html; charset=utf-8"
+
+
+def _routes(directory, dashboard: bool = False):
     """Route table: path -> () -> (http status, payload object/text)."""
     cdir = CampaignDir(directory)
 
@@ -46,10 +70,13 @@ def _routes(directory):
         except CampaignError as exc:
             return 500, {"error": str(exc)}
         sweeps = sorted(status["sweeps"])
+        endpoints = ["/status", "/manifest", "/healthz", "/metrics"]
+        if dashboard:
+            endpoints += ["/dashboard", "/timeline"]
         return 200, {
             "campaign": status["name"],
             "state": status["state"],
-            "endpoints": ["/status", "/manifest", "/healthz"] +
+            "endpoints": endpoints +
                          [f"/result/{name}" for name in sweeps],
         }
 
@@ -93,8 +120,31 @@ def _routes(directory):
         return 200, {"status": "ok", "journal_lines": lines,
                      "journal_events": events}
 
-    return {"/": index, "/status": status, "/manifest": manifest,
-            "/healthz": healthz, "result": result}
+    def metrics() -> Tuple[int, object]:
+        try:
+            status = campaign_status(directory)
+        except CampaignError as exc:
+            return 500, {"error": str(exc)}
+        return 200, PlainText(status_metrics(status))
+
+    def timeline() -> Tuple[int, object]:
+        try:
+            return 200, journal_timeline(directory)
+        except CampaignError as exc:
+            return 500, {"error": str(exc)}
+
+    routes = {"/": index, "/status": status, "/manifest": manifest,
+              "/healthz": healthz, "/metrics": metrics,
+              "result": result}
+    if dashboard:
+        try:
+            name = cdir.read_manifest().get("name") or "campaign"
+        except CampaignError:
+            name = "campaign"
+        page = HtmlText(dashboard_html(f"repro campaign: {name}"))
+        routes["/dashboard"] = lambda: (200, page)
+        routes["/timeline"] = timeline
+    return routes
 
 
 class CampaignRequestHandler(BaseHTTPRequestHandler):
@@ -112,7 +162,9 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                 else json.dumps(payload, sort_keys=True, indent=2))
         data = body.encode("utf-8")
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type",
+                         getattr(payload, "content_type",
+                                 "application/json"))
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         if self.command != "HEAD":
@@ -132,16 +184,19 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             code, payload = 404, {"error": f"unknown path {path!r}",
                                   "endpoints": ["/", "/status",
                                                 "/manifest", "/healthz",
+                                                "/metrics",
                                                 "/result/<sweep>"]}
         self._respond(code, payload)
 
 
 def make_server(directory, host: str = "127.0.0.1",
-                port: int = 0) -> ThreadingHTTPServer:
+                port: int = 0,
+                dashboard: bool = False) -> ThreadingHTTPServer:
     """Build (but don't start) the status server; ``port=0`` picks a
-    free port — read it back from ``server.server_address``."""
+    free port — read it back from ``server.server_address``.
+    ``dashboard=True`` adds the ``/dashboard`` + ``/timeline`` pair."""
     handler = type("BoundCampaignHandler", (CampaignRequestHandler,),
-                   {"routes": _routes(directory)})
+                   {"routes": _routes(directory, dashboard=dashboard)})
     return ThreadingHTTPServer((host, port), handler)
 
 
@@ -166,12 +221,14 @@ def install_sigterm_handler() -> None:
 
 
 def serve(directory, host: str = "127.0.0.1", port: int = 8008,
-          announce=None) -> None:
+          announce=None, dashboard: bool = False) -> None:
     """Run the status server until interrupted — SIGINT or SIGTERM
     both shut it down cleanly (CLI entry point)."""
-    server = make_server(directory, host=host, port=port)
+    server = make_server(directory, host=host, port=port,
+                         dashboard=dashboard)
     install_sigterm_handler()
     bound_host, bound_port = server.server_address[:2]
+    extra = " /dashboard /timeline" if dashboard else ""
     # The announce sits inside the try: a TERM landing between the
     # banner and serve_forever() must still take the clean path.
     try:
@@ -179,7 +236,7 @@ def serve(directory, host: str = "127.0.0.1", port: int = 8008,
             announce(f"serving campaign {directory} on "
                      f"http://{bound_host}:{bound_port} "
                      f"(endpoints: /status /manifest /healthz "
-                     f"/result/<sweep>)")
+                     f"/metrics{extra} /result/<sweep>)")
         server.serve_forever()
     except KeyboardInterrupt:
         pass

@@ -162,6 +162,86 @@ def compare(fresh: Dict, baseline: Dict, tolerance: float = 0.2) -> List[str]:
     return problems
 
 
+#: History entries kept per payload — enough to read a trend without
+#: letting BENCH_core.json grow without bound.
+HISTORY_LIMIT = 24
+
+
+def history_entry(payload: Dict) -> Dict:
+    """Condense one benchmark payload into a history line.
+
+    Keeps only the numbers a trend reader needs: per-scenario
+    throughput and wall time, the aggregate, and the fig7 quick-sweep
+    wall time when measured.
+    """
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cycles_per_second": payload["cycles_per_second"],
+        "total_wall_seconds": payload["total_wall_seconds"],
+        "scenarios": {
+            label: {
+                "cycles_per_second": record["cycles_per_second"],
+                "wall_seconds": record["wall_seconds"],
+            }
+            for label, record in payload.get("scenarios", {}).items()
+        },
+    }
+    sweep = payload.get("fig7_quick_sweep")
+    if sweep:
+        entry["fig7_quick_seconds"] = sweep["wall_seconds"]
+    return entry
+
+
+def append_history(payload: Dict, limit: int = HISTORY_LIMIT) -> Dict:
+    """Append this run to ``payload['history']`` (capped), in place.
+
+    Every ``bench-perf`` run records itself, so the committed
+    BENCH_core.json carries the recent per-scenario trajectory instead
+    of a single point.  Returns the appended entry.
+    """
+    entry = history_entry(payload)
+    history = list(payload.get("history", []))
+    history.append(entry)
+    payload["history"] = history[-limit:]
+    return entry
+
+
+def render_delta(fresh: Dict, baseline: Dict) -> str:
+    """Per-scenario delta table of a fresh payload vs a baseline.
+
+    Shows relative throughput change (positive = faster than the
+    baseline).  Scenarios present on only one side are flagged rather
+    than dropped.
+    """
+    lines = [f"{'scenario':18s} {'base c/s':>12s} {'fresh c/s':>12s} "
+             f"{'delta':>8s}"]
+    base_scenarios = baseline.get("scenarios", {})
+    fresh_scenarios = fresh.get("scenarios", {})
+    for label in sorted(set(base_scenarios) | set(fresh_scenarios)):
+        base = base_scenarios.get(label)
+        record = fresh_scenarios.get(label)
+        if base is None:
+            lines.append(f"{label:18s} {'-':>12s} "
+                         f"{record['cycles_per_second']:>12d} {'new':>8s}")
+            continue
+        if record is None:
+            lines.append(f"{label:18s} {base['cycles_per_second']:>12d} "
+                         f"{'-':>12s} {'gone':>8s}")
+            continue
+        base_cps = base["cycles_per_second"]
+        delta = ((record["cycles_per_second"] - base_cps) / base_cps
+                 if base_cps else 0.0)
+        lines.append(f"{label:18s} {base_cps:>12d} "
+                     f"{record['cycles_per_second']:>12d} {delta:>+8.1%}")
+    base_total = baseline.get("cycles_per_second", 0)
+    fresh_total = fresh.get("cycles_per_second", 0)
+    total_delta = ((fresh_total - base_total) / base_total
+                   if base_total else 0.0)
+    lines.append(f"{'total':18s} {base_total:>12d} {fresh_total:>12d} "
+                 f"{total_delta:>+8.1%}")
+    return "\n".join(lines)
+
+
 def load_payload(path: str) -> Dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)

@@ -50,6 +50,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.events import (EV_CACHE_EVICT as _EV_EVICT,
+                          EV_CACHE_FILL as _EV_FILL,
+                          EV_CACHE_PROBE as _EV_PROBE,
+                          EV_FLUSH as _EV_FLUSH,
+                          EV_MEM_ACCESS as _EV_ACCESS, LEVEL_IDS)
 from .cache import CacheConfig, SetAssociativeCache
 from .main_memory import MemoryChannel
 
@@ -66,6 +71,13 @@ _NO_FILL = float("inf")
 #: Stride between per-core physical windows (1 GiB: a multiple of every
 #: cache's set span, so offsetting preserves set indices).
 PHYS_WINDOW_STRIDE = 1 << 30
+
+#: LEVEL_* string -> small int for trace-event payload slots.
+_LID_L1 = LEVEL_IDS[LEVEL_L1]
+_LID_L2 = LEVEL_IDS[LEVEL_L2]
+_LID_L3 = LEVEL_IDS[LEVEL_L3]
+_LID_MEM = LEVEL_IDS[LEVEL_MEM]
+_LID_PENDING = LEVEL_IDS[LEVEL_PENDING]
 
 
 @dataclass(frozen=True)
@@ -326,6 +338,9 @@ class MemoryHierarchy:
         #: ``apply_completed`` call on one integer compare).
         self.next_fill = _NO_FILL
         self.stats = HierarchyStats()
+        #: Observability sink (repro.obs.sink) — ``None`` means tracing
+        #: is off; sinks never influence timing, fills, or stats.
+        self.trace = None
         shared.views.append(self)
 
     # -- helpers -----------------------------------------------------------------
@@ -341,18 +356,37 @@ class MemoryHierarchy:
         pending_map = self._pending
         done = [line for line, p in pending_map.items()
                 if p.completion <= now]
+        trace = self.trace
         for line in done:
             pending = pending_map.pop(line)
             if pending.dropped:
                 continue
+            if trace is None:
+                if pending.fill_data:
+                    self.l3.fill(line)
+                    self.l2.fill(line)
+                    self.l1d.fill(line)
+                if pending.fill_inst:
+                    self.l3.fill(line)
+                    self.l2.fill(line)
+                    self.l1i.fill(line)
+                continue
+            # Traced path: same fills, but capture each level's victim
+            # so evictions become events.  fill() return values were
+            # always produced — the untraced path merely ignores them.
             if pending.fill_data:
-                self.l3.fill(line)
-                self.l2.fill(line)
-                self.l1d.fill(line)
+                levels = ((self.l3, _LID_L3), (self.l2, _LID_L2),
+                          (self.l1d, _LID_L1))
+            else:
+                levels = ()
             if pending.fill_inst:
-                self.l3.fill(line)
-                self.l2.fill(line)
-                self.l1i.fill(line)
+                levels += ((self.l3, _LID_L3), (self.l2, _LID_L2),
+                           (self.l1i, _LID_L1))
+            for cache, level_id in levels:
+                evicted = cache.fill(line)
+                trace.emit(now, _EV_FILL, line, level_id)
+                if evicted is not None:
+                    trace.emit(now, _EV_EVICT, evicted, level_id)
         self.next_fill = min(
             (p.completion for p in pending_map.values()),
             default=_NO_FILL)
@@ -379,6 +413,7 @@ class MemoryHierarchy:
         if prefetch:
             self.stats.prefetch_requests += 1
 
+        trace = self.trace
         pending = self._pending.get(line)
         if pending is not None and not pending.dropped:
             # MSHR merge: wait on the in-flight fill.
@@ -386,17 +421,25 @@ class MemoryHierarchy:
             if fill:
                 pending.fill_data = True
             latency = max(1, pending.completion - now)
+            if trace is not None:
+                trace.emit(now, _EV_ACCESS, line, _LID_PENDING)
             return AccessResult(latency, LEVEL_PENDING, now + latency, line,
                                 merged=True)
 
         l1_latency = self.config.l1d.latency
         if self.l1d.lookup(line, update=lru_update):
+            if trace is not None:
+                trace.emit(now, _EV_ACCESS, line, _LID_L1)
             return AccessResult(l1_latency, LEVEL_L1, now + l1_latency, line)
 
         l2_latency = l1_latency + self.config.l2.latency
         if self.l2.lookup(line, update=lru_update):
             if fill:
                 self.l1d.fill(line)
+                if trace is not None:
+                    trace.emit(now, _EV_FILL, line, _LID_L1)
+            if trace is not None:
+                trace.emit(now, _EV_ACCESS, line, _LID_L2)
             return AccessResult(l2_latency, LEVEL_L2, now + l2_latency, line)
 
         l3_latency = l2_latency + self.config.l3.latency
@@ -404,6 +447,11 @@ class MemoryHierarchy:
             if fill:
                 self.l2.fill(line)
                 self.l1d.fill(line)
+                if trace is not None:
+                    trace.emit(now, _EV_FILL, line, _LID_L2)
+                    trace.emit(now, _EV_FILL, line, _LID_L1)
+            if trace is not None:
+                trace.emit(now, _EV_ACCESS, line, _LID_L3)
             return AccessResult(l3_latency, LEVEL_L3, now + l3_latency, line)
 
         completion = self.channel.request(now) + l3_latency
@@ -412,6 +460,8 @@ class MemoryHierarchy:
                                            fill_inst=False)
         if completion < self.next_fill:
             self.next_fill = completion
+        if trace is not None:
+            trace.emit(now, _EV_ACCESS, line, _LID_MEM)
         return AccessResult(completion - now, LEVEL_MEM, completion, line)
 
     # -- instruction path -----------------------------------------------------------
@@ -460,7 +510,12 @@ class MemoryHierarchy:
         any in-flight fill anywhere (the flush is to the coherence
         domain, not to this view)."""
         self.stats.flushes += 1
-        self.shared.flush_phys_line(self.line_of(addr))
+        line = self.line_of(addr)
+        if self.trace is not None:
+            # The maintenance path is untimed; flush events carry
+            # cycle 0 and order by stream position only.
+            self.trace.emit(0, _EV_FLUSH, line)
+        self.shared.flush_phys_line(line)
 
     def warm(self, addr, level=LEVEL_L1, inst=False):
         """Install a line directly (experiment setup, no timing charged)."""
@@ -522,18 +577,29 @@ class MemoryHierarchy:
         """
         self.shared.apply_completed(now)
         line = self.line_of(addr)
+        trace = self.trace
         pending = self._pending.get(line)
         if pending is not None and not pending.dropped:
+            if trace is not None:
+                trace.emit(now, _EV_PROBE, line, _LID_PENDING)
             return max(1, pending.completion - now), LEVEL_PENDING
         latency = self.config.l1d.latency
         if self.l1d.probe(line):
+            if trace is not None:
+                trace.emit(now, _EV_PROBE, line, _LID_L1)
             return latency, LEVEL_L1
         latency += self.config.l2.latency
         if self.l2.probe(line):
+            if trace is not None:
+                trace.emit(now, _EV_PROBE, line, _LID_L2)
             return latency, LEVEL_L2
         latency += self.config.l3.latency
         if self.l3.probe(line):
+            if trace is not None:
+                trace.emit(now, _EV_PROBE, line, _LID_L3)
             return latency, LEVEL_L3
+        if trace is not None:
+            trace.emit(now, _EV_PROBE, line, _LID_MEM)
         return latency + self.config.mem_latency, LEVEL_MEM
 
     def present_in(self, addr, level):

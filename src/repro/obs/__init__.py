@@ -1,0 +1,45 @@
+"""Observability: event tracing, metrics, and campaign dashboards.
+
+Three independent layers, all stdlib-only and all strictly off the
+result path (enabling any of them never changes ``CoreStats``, sweep
+JSON, or cache keys):
+
+``repro.obs.events``   typed micro-architectural event schema plus the
+                       compact varint-encoded ``.evt`` container.
+``repro.obs.sink``     pluggable :class:`TraceSink` implementations the
+                       simulator emits into (memory ring / binary file).
+``repro.obs.metrics``  a small Prometheus-style registry (counters,
+                       gauges, histograms) threaded through the harness
+                       executor, campaign engine and coordinator.
+``repro.obs.view``     cycle-level timeline rendering of one ``.evt``
+                       trace (text sparkline or single-file HTML).
+``repro.obs.campaign`` campaign-facing adapters: journal-derived trial
+                       timeline, status-to-metrics bridge, and the
+                       ``--dashboard`` HTML page.
+"""
+
+from .events import (EV_CACHE_EVICT, EV_CACHE_FILL, EV_CACHE_PROBE,
+                     EV_COMMIT, EV_DISPATCH, EV_FETCH, EV_FLUSH,
+                     EV_INV, EV_ISSUE, EV_MEM_ACCESS, EV_MISPREDICT,
+                     EV_PSEUDO_RETIRE, EV_RA_ENTER, EV_RA_EXIT,
+                     EV_SQUASH, EVENT_NAMES, EVENT_SCHEMA, LEVEL_IDS,
+                     LEVEL_NAMES, decode_events, encode_events,
+                     event_name, load_events, save_events)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_registry, set_registry)
+from .sink import FileSink, MemorySink, TraceSink, attach_sink
+from .view import render_html, render_text, summarize_events
+
+__all__ = [
+    "EV_CACHE_EVICT", "EV_CACHE_FILL", "EV_CACHE_PROBE", "EV_COMMIT",
+    "EV_DISPATCH", "EV_FETCH", "EV_FLUSH", "EV_INV", "EV_ISSUE",
+    "EV_MEM_ACCESS", "EV_MISPREDICT", "EV_PSEUDO_RETIRE", "EV_RA_ENTER",
+    "EV_RA_EXIT", "EV_SQUASH",
+    "EVENT_NAMES", "EVENT_SCHEMA", "LEVEL_IDS", "LEVEL_NAMES",
+    "decode_events", "encode_events", "event_name", "load_events",
+    "save_events",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "set_registry",
+    "FileSink", "MemorySink", "TraceSink", "attach_sink",
+    "render_html", "render_text", "summarize_events",
+]

@@ -1,0 +1,201 @@
+"""A small Prometheus-style metrics registry (stdlib only).
+
+Counters, gauges, and histograms keyed by name + label set, rendered
+in the Prometheus text exposition format for the ``/metrics`` routes
+on ``campaign serve`` and ``campaign coordinate``.  A process-global
+default registry (:func:`get_registry`) lets the harness executor,
+campaign engine, and coordinator record into one pool without plumbing
+a registry through every call signature; tests swap in a fresh
+registry via :func:`set_registry`.
+
+All mutation goes through one coarse lock per registry — the hottest
+caller records once per *trial* (tens of milliseconds of simulation),
+so contention is irrelevant and correctness under the coordinator's
+threaded HTTP handlers is what matters.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: _LabelKey, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonic counter series (one label set of a family)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Settable gauge series."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Cumulative-bucket histogram series."""
+
+    __slots__ = ("_lock", "buckets", "counts", "total", "count")
+
+    def __init__(self, lock: threading.Lock,
+                 buckets: Iterable[float] = _DEFAULT_BUCKETS) -> None:
+        self._lock = lock
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)   # +inf tail
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.total += value
+            self.count += 1
+
+
+class MetricsRegistry:
+    """Family store: ``counter()``/``gauge()``/``histogram()`` create
+    or return the series for (name, labels); ``render()`` emits the
+    whole registry as Prometheus text."""
+
+    _TYPES = {"counter": Counter, "gauge": Gauge,
+              "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (type, help, {label_key: series})
+        self._families: Dict[str, Tuple[str, str, Dict]] = {}
+
+    def _series(self, kind: str, name: str, help_text: str,
+                labels: Optional[Dict[str, str]], **kwargs):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help_text, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family[0]}, not {kind}")
+            series = family[2].get(key)
+            if series is None:
+                series = self._TYPES[kind](self._lock, **kwargs)
+                family[2][key] = series
+            return series
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._series("counter", name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._series("gauge", name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Optional[Dict[str, str]] = None,
+                  buckets: Iterable[float] = _DEFAULT_BUCKETS,
+                  ) -> Histogram:
+        return self._series("histogram", name, help_text, labels,
+                            buckets=buckets)
+
+    @staticmethod
+    def _format(value: float) -> str:
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family, sorted by name
+        so output is stable for tests and diffing."""
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                kind, help_text, series_map = self._families[name]
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {kind}")
+                for key in sorted(series_map):
+                    series = series_map[key]
+                    if kind == "histogram":
+                        running = 0
+                        for edge, count in zip(series.buckets,
+                                               series.counts):
+                            running += count
+                            le = 'le="%s"' % self._format(edge)
+                            lines.append(
+                                f"{name}_bucket"
+                                f"{_label_text(key, le)} {running}")
+                        le = 'le="+Inf"'
+                        lines.append(
+                            f"{name}_bucket{_label_text(key, le)}"
+                            f" {series.count}")
+                        lines.append(f"{name}_sum{_label_text(key)} "
+                                     f"{self._format(series.total)}")
+                        lines.append(f"{name}_count{_label_text(key)} "
+                                     f"{series.count}")
+                    else:
+                        lines.append(f"{name}{_label_text(key)} "
+                                     f"{self._format(series.value)}")
+        return "\n".join(lines) + "\n"
+
+
+_default = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry the harness and campaign layers
+    record into."""
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests); returns the previous one."""
+    global _default
+    with _default_lock:
+        previous, _default = _default, registry
+    return previous

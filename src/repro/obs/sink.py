@@ -1,0 +1,101 @@
+"""Trace sinks the simulator emits events into.
+
+The zero-overhead-when-off contract lives in the *emitters*, not here:
+``Core`` and ``MemoryHierarchy`` hold ``self.trace = None`` by default
+and guard every emit with an is-``None`` test, so an untraced run pays
+one pointer check per instrumented site and allocates nothing.  When a
+sink is attached it receives ``emit(cycle, kind, a, b)`` calls and must
+never touch simulator state — sinks observe, they do not participate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from .events import MAGIC, Event, encode_events
+
+_FLUSH_BYTES = 1 << 16
+
+
+class TraceSink:
+    """Interface: override :meth:`emit`; :meth:`close` is optional."""
+
+    def emit(self, cycle: int, kind: int, a: int = 0,
+             b: int = 0) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemorySink(TraceSink):
+    """Keep events in memory — unbounded list, or a ring of the last
+    ``capacity`` events (flight-recorder mode for long runs)."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events = (deque(maxlen=capacity) if capacity
+                        else deque())
+
+    def emit(self, cycle: int, kind: int, a: int = 0,
+             b: int = 0) -> None:
+        self._events.append((cycle, kind, a, b))
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class FileSink(TraceSink):
+    """Stream events into a compact binary ``.evt`` file.
+
+    Events are varint-encoded in ~64 KiB chunks so multi-million-event
+    traces never hold the whole stream in memory.  The file is valid
+    only after :meth:`close` (truncated tails raise on load).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = open(path, "wb")
+        self._handle.write(MAGIC)
+        self._pending: List[Event] = []
+        self._prev_cycle = 0
+        self.count = 0
+
+    def emit(self, cycle: int, kind: int, a: int = 0,
+             b: int = 0) -> None:
+        self._pending.append((cycle, kind, a, b))
+        self.count += 1
+        if len(self._pending) >= 8192:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._pending:
+            self._handle.write(
+                encode_events(self._pending, self._prev_cycle))
+            self._prev_cycle = self._pending[-1][0]
+            self._pending.clear()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._flush()
+            self._handle.close()
+            self._handle = None
+
+
+def attach_sink(core, sink: Optional[TraceSink]) -> None:
+    """Point a built ``Core`` (and its memory hierarchy, if any) at a
+    sink; pass ``None`` to detach."""
+    core.trace = sink
+    hierarchy = getattr(core, "hierarchy", None)
+    if hierarchy is not None:
+        hierarchy.trace = sink

@@ -1,0 +1,191 @@
+"""Render one ``.evt`` trace as a cycle-level timeline.
+
+``summarize_events`` reconstructs derived series from the raw event
+stream — ROB occupancy (dispatch adds, commit/pseudo-retire/squash
+remove), runahead episodes, per-kind counts, memory-level breakdown —
+and bins them over the cycle span.  ``render_text`` draws a sparkline
+timeline in the terminal; ``render_html`` writes a self-contained HTML
+page (inline SVG, no external assets) for sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .events import (EV_CACHE_EVICT, EV_CACHE_FILL, EV_CACHE_PROBE,
+                     EV_COMMIT, EV_DISPATCH, EV_FETCH, EV_INV,
+                     EV_ISSUE, EV_MEM_ACCESS, EV_MISPREDICT,
+                     EV_PSEUDO_RETIRE, EV_RA_ENTER, EV_RA_EXIT,
+                     EV_SQUASH, Event, LEVEL_NAMES, event_name)
+
+_SPARK = " .:-=+*#%@"
+_ROB_DELTA = {EV_DISPATCH: 1, EV_COMMIT: -1, EV_PSEUDO_RETIRE: -1}
+
+
+def summarize_events(events: Sequence[Event],
+                     bins: int = 64) -> Dict:
+    """Derive timeline series from a raw event stream."""
+    counts: Dict[str, int] = {}
+    levels: Dict[str, int] = {}
+    episodes: List[Dict] = []
+    open_enter: Tuple[int, int] = None
+    occupancy = 0
+    max_occupancy = 0
+    occ_track: List[Tuple[int, int]] = []   # (cycle, occupancy after)
+    first_cycle = events[0][0] if events else 0
+    last_cycle = first_cycle
+    for cycle, kind, a, b in events:
+        counts[event_name(kind)] = counts.get(event_name(kind), 0) + 1
+        if cycle > last_cycle:
+            last_cycle = cycle
+        delta = _ROB_DELTA.get(kind)
+        if delta is not None:
+            occupancy += delta
+        elif kind == EV_SQUASH:
+            occupancy = max(0, occupancy - a)
+        elif kind == EV_RA_ENTER:
+            open_enter = (cycle, b)
+        elif kind == EV_RA_EXIT:
+            start = open_enter[0] if open_enter else cycle - a
+            episodes.append({"enter": start, "exit": cycle,
+                             "cycles": a, "pc": b})
+            open_enter = None
+        elif kind in (EV_MEM_ACCESS, EV_CACHE_PROBE):
+            level = LEVEL_NAMES.get(b, str(b))
+            levels[level] = levels.get(level, 0) + 1
+        if delta is not None or kind == EV_SQUASH:
+            if occupancy > max_occupancy:
+                max_occupancy = occupancy
+            occ_track.append((cycle, occupancy))
+    if open_enter is not None:              # trace ended mid-episode
+        episodes.append({"enter": open_enter[0], "exit": last_cycle,
+                         "cycles": last_cycle - open_enter[0],
+                         "pc": open_enter[1], "open": True})
+
+    span = max(1, last_cycle - first_cycle)
+    occ_bins = [0] * bins
+    for cycle, occ in occ_track:
+        index = min(bins - 1, (cycle - first_cycle) * bins // span)
+        if occ > occ_bins[index]:
+            occ_bins[index] = occ
+    ra_bins = [0.0] * bins
+    for episode in episodes:
+        lo = min(bins - 1,
+                 max(0, (episode["enter"] - first_cycle) * bins // span))
+        hi = min(bins - 1,
+                 max(0, (episode["exit"] - first_cycle) * bins // span))
+        for index in range(lo, hi + 1):
+            ra_bins[index] = 1.0
+
+    return {
+        "events": len(events),
+        "first_cycle": first_cycle,
+        "last_cycle": last_cycle,
+        "counts": counts,
+        "levels": levels,
+        "episodes": episodes,
+        "max_occupancy": max_occupancy,
+        "occupancy_bins": occ_bins,
+        "runahead_bins": ra_bins,
+        "bins": bins,
+    }
+
+
+def _sparkline(values: Sequence[float], peak: float) -> str:
+    if peak <= 0:
+        return " " * len(values)
+    top = len(_SPARK) - 1
+    return "".join(
+        _SPARK[min(top, int(value * top / peak + 0.5))]
+        for value in values)
+
+
+def render_text(summary: Dict) -> str:
+    """Terminal timeline: ROB occupancy sparkline with runahead bands,
+    event counts, and the episode table."""
+    lines = [
+        f"trace: {summary['events']} events, cycles "
+        f"{summary['first_cycle']}..{summary['last_cycle']}",
+        "",
+        f"ROB occupancy (peak {summary['max_occupancy']}):",
+        "  |" + _sparkline(summary["occupancy_bins"],
+                           summary["max_occupancy"]) + "|",
+        "  |" + "".join("R" if flag else " "
+                        for flag in summary["runahead_bins"]) +
+        "|  (R = runahead active)",
+        "",
+        "event counts:",
+    ]
+    for name in sorted(summary["counts"]):
+        lines.append(f"  {name:<16} {summary['counts'][name]}")
+    if summary["levels"]:
+        lines.append("")
+        lines.append("memory accesses by resolved level:")
+        for level in sorted(summary["levels"]):
+            lines.append(f"  {level:<16} {summary['levels'][level]}")
+    episodes = summary["episodes"]
+    lines.append("")
+    lines.append(f"runahead episodes: {len(episodes)}")
+    for episode in episodes[:20]:
+        flag = " (unterminated)" if episode.get("open") else ""
+        lines.append(
+            f"  cycle {episode['enter']:>8} .. {episode['exit']:>8}  "
+            f"({episode['cycles']} cycles)  pc=0x{episode['pc']:x}"
+            f"{flag}")
+    if len(episodes) > 20:
+        lines.append(f"  ... {len(episodes) - 20} more")
+    return "\n".join(lines)
+
+
+def render_html(summary: Dict, title: str = "trace") -> str:
+    """Self-contained HTML timeline (inline SVG polyline + runahead
+    bands); no scripts, no external assets."""
+    bins = summary["bins"]
+    width, height = 720, 160
+    step = width / max(1, bins)
+    peak = max(1, summary["max_occupancy"])
+    points = " ".join(
+        f"{index * step + step / 2:.1f},"
+        f"{height - value * (height - 10) / peak:.1f}"
+        for index, value in enumerate(summary["occupancy_bins"]))
+    bands = "".join(
+        f'<rect x="{index * step:.1f}" y="0" width="{step:.1f}" '
+        f'height="{height}" fill="#f4c26b" opacity="0.35"/>'
+        for index, flag in enumerate(summary["runahead_bins"]) if flag)
+    count_rows = "".join(
+        f"<tr><td>{name}</td>"
+        f"<td>{summary['counts'][name]}</td></tr>"
+        for name in sorted(summary["counts"]))
+    episode_rows = "".join(
+        f"<tr><td>{episode['enter']}</td><td>{episode['exit']}</td>"
+        f"<td>{episode['cycles']}</td>"
+        f"<td>0x{episode['pc']:x}</td></tr>"
+        for episode in summary["episodes"][:200])
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem;
+        color: #1a1a2e; }}
+h1 {{ font-size: 1.2rem; }} h2 {{ font-size: 1rem; }}
+svg {{ border: 1px solid #ccc; background: #fbfbfd; }}
+table {{ border-collapse: collapse; margin: .5rem 0; }}
+td, th {{ border: 1px solid #ddd; padding: .15rem .6rem;
+          text-align: right; }}
+td:first-child {{ text-align: left; }}
+.note {{ color: #666; }}
+</style></head><body>
+<h1>{title}</h1>
+<p class="note">{summary['events']} events, cycles
+{summary['first_cycle']}&ndash;{summary['last_cycle']},
+peak ROB occupancy {summary['max_occupancy']};
+shaded bands mark runahead episodes.</p>
+<svg viewBox="0 0 {width} {height}" width="{width}"
+     height="{height}">{bands}
+<polyline fill="none" stroke="#2a6f97" stroke-width="1.5"
+          points="{points}"/></svg>
+<h2>Event counts</h2><table>{count_rows}</table>
+<h2>Runahead episodes ({len(summary['episodes'])})</h2>
+<table><tr><th>enter</th><th>exit</th><th>cycles</th><th>pc</th></tr>
+{episode_rows}</table>
+</body></html>
+"""

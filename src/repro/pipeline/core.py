@@ -49,6 +49,15 @@ from ..isa.registers import (NUM_ARCH_REGS, REG_SP, REG_ZERO,
 from ..memory.hierarchy import (LEVEL_L1, LEVEL_MEM, LEVEL_PENDING,
                                 MemoryHierarchy)
 from ..memory.main_memory import MainMemory
+from ..obs.events import (EV_COMMIT as _EV_COMMIT,
+                          EV_DISPATCH as _EV_DISPATCH,
+                          EV_FETCH as _EV_FETCH, EV_INV as _EV_INV,
+                          EV_ISSUE as _EV_ISSUE,
+                          EV_MISPREDICT as _EV_MISPREDICT,
+                          EV_PSEUDO_RETIRE as _EV_PSEUDO_RETIRE,
+                          EV_RA_ENTER as _EV_RA_ENTER,
+                          EV_RA_EXIT as _EV_RA_EXIT,
+                          EV_SQUASH as _EV_SQUASH)
 from ..runahead.base import NoRunahead, RunaheadController
 from ..runahead.checkpoint import Checkpoint
 from ..runahead.runahead_cache import RunaheadCache
@@ -176,6 +185,10 @@ class Core:
         self.runahead_cache = RunaheadCache(self.config.runahead.cache_entries)
 
         self.stats = CoreStats()
+        #: Observability sink (repro.obs.sink) — ``None`` means tracing
+        #: is off and every emit site is a single is-None test.  Sinks
+        #: observe only; nothing on the result path reads them.
+        self.trace = None
         self._completions = []      # heap of (completion, seq, entry)
         #: Heap records whose entry has been squashed (they stay in
         #: ``_completions`` until popped or compacted away).
@@ -350,6 +363,8 @@ class Core:
             self.halted = True
             self._retire_entry(head)
             self.stats.committed += 1
+            if self.trace is not None:
+                self.trace.emit(now, _EV_COMMIT, head.seq, head.pc)
             return
         if head.is_store and head.mem_addr is not None:
             if instr.opcode is _VSTORE:
@@ -366,6 +381,8 @@ class Core:
             self.arch_inv[dest] = False
         self._retire_entry(head)
         self.stats.committed += 1
+        if self.trace is not None:
+            self.trace.emit(now, _EV_COMMIT, head.seq, head.pc)
         # End of a stall episode once the stalling load itself commits.
         if self._stall_base_seq is not None and head.is_load:
             self._stall_base_seq = None
@@ -385,6 +402,8 @@ class Core:
         self._retire_entry(head)
         self.stats.pseudo_retired += 1
         self.stats.transient_executed += 1
+        if self.trace is not None:
+            self.trace.emit(now, _EV_PSEUDO_RETIRE, head.seq, head.pc)
 
     def _retire_entry(self, head):
         """Pop the head and release its resources."""
@@ -410,6 +429,8 @@ class Core:
             return False
         self._mark_done(head)
         head.inv = True
+        if self.trace is not None:
+            self.trace.emit(self.cycle, _EV_INV, head.seq, head.pc)
         if head.instr.opcode is _RET:
             head.inv = False
             head.actual_target = None
@@ -440,6 +461,8 @@ class Core:
         )
         self.mode = MODE_RUNAHEAD
         self.stats.runahead_episodes += 1
+        if self.trace is not None:
+            self.trace.emit(now, _EV_RA_ENTER, head.seq, head.pc)
         # Poison the stalling load: its result is INV, and it pseudo-retires
         # immediately, converting the blocked window into a running one.
         head.inv = True
@@ -461,6 +484,13 @@ class Core:
             if victim.state != DISPATCHED:
                 self.stats.transient_executed += 1
         self.stats.squashed += len(victims)
+        if self.trace is not None:
+            if victims:
+                self.trace.emit(now, _EV_SQUASH, len(victims),
+                                checkpoint.stalling_pc)
+            self.trace.emit(now, _EV_RA_EXIT,
+                            now - checkpoint.entry_cycle,
+                            checkpoint.stalling_pc)
         self.iq.clear()
         self.lq.clear()
         self.sq.clear()
@@ -538,6 +568,8 @@ class Core:
         if not mispredicted:
             return
         self.stats.branch_mispredicts += 1
+        if self.trace is not None:
+            self.trace.emit(now, _EV_MISPREDICT, entry.seq, entry.pc)
         self._recover_from_branch(entry, now)
 
     def _squash_younger(self, entry):
@@ -556,6 +588,9 @@ class Core:
             if rename is not None:
                 self._rename_free[rename] += 1
         self.stats.squashed += len(victims)
+        if victims and self.trace is not None:
+            self.trace.emit(self.cycle, _EV_SQUASH, len(victims),
+                            entry.pc)
         if victims:
             self.iq = [e for e in self.iq if not e.squashed]
             self.lq = [e for e in self.lq if not e.squashed]
@@ -632,6 +667,7 @@ class Core:
         issued = 0
         width = self.config.issue_width
         stats = self.stats
+        trace = self.trace
         fus = self.fus
         normal_mode = self.mode == MODE_NORMAL
         deferred = None
@@ -664,6 +700,8 @@ class Core:
                       (entry.completion, entry.seq, entry))
             issued += 1
             stats.issued += 1
+            if trace is not None:
+                trace.emit(now, _EV_ISSUE, entry.seq, entry.pc)
             self._activity = True
             if entry.is_store and entry.store_waiters is not None:
                 # This store's address is now known: re-queue the loads
@@ -711,6 +749,8 @@ class Core:
         """Poisoned instruction: propagate INV in one cycle, no FU."""
         entry.inv = True
         self.stats.inv_instructions += 1
+        if self.trace is not None:
+            self.trace.emit(now, _EV_INV, entry.seq, entry.pc)
         instr = entry.instr
         opcode = instr.opcode
         if opcode is _CALL or opcode is _RET:
@@ -1048,6 +1088,7 @@ class Core:
         rat = self.rat
         rename_free = self._rename_free
         stats = self.stats
+        trace = self.trace
         runahead_mode = self.mode == MODE_RUNAHEAD
         filtering = runahead_mode and not self._filter_is_default
         while dispatched < width and frontend:
@@ -1109,6 +1150,8 @@ class Core:
             rob.push(entry)
             stats.dispatched += 1
             dispatched += 1
+            if trace is not None:
+                trace.emit(now, _EV_DISPATCH, entry.seq, slot.pc)
             self._activity = True
 
             if self._stall_base_seq is not None:
@@ -1157,6 +1200,7 @@ class Core:
         program_fetch = self.program.fetch
         hierarchy = self.hierarchy
         stats = self.stats
+        trace = self.trace
         while fetched < width and len(frontend) < fetch_queue:
             pc = self.fetch_pc
             instr = program_fetch(pc)
@@ -1177,6 +1221,8 @@ class Core:
                 _Fetched(pc, instr, prediction, now + frontend_depth))
             stats.fetched += 1
             fetched += 1
+            if trace is not None:
+                trace.emit(now, _EV_FETCH, pc)
             self._activity = True
             if instr.opcode is _HALT:
                 self.fetch_halted = True

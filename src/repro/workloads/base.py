@@ -63,12 +63,21 @@ class Workload:
         return built
 
     def run(self, runahead: Optional[RunaheadController] = None,
-            config: Optional[CoreConfig] = None, max_cycles=5_000_000):
-        """Execute on a fresh core; returns the core (stats inside)."""
+            config: Optional[CoreConfig] = None, max_cycles=5_000_000,
+            trace=None):
+        """Execute on a fresh core; returns the core (stats inside).
+
+        ``trace`` attaches a :class:`repro.obs.sink.TraceSink` to the
+        core and its hierarchy for the duration of the run — pure
+        observation, never part of the result path.
+        """
         program, image, sp = self.materialize()
         core = Core(program, memory_image=image,
                     config=config or CoreConfig.paper(), runahead=runahead,
                     initial_sp=sp, warm_icache=True)
+        if trace is not None:
+            core.trace = trace
+            core.hierarchy.trace = trace
         core.run(max_cycles=max_cycles)
         if not core.halted:
             raise RuntimeError(f"workload {self.name} did not halt")

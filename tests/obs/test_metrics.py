@@ -1,0 +1,109 @@
+"""The metrics registry: series semantics and Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (MetricsRegistry, get_registry,
+                               set_registry)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments(self, registry):
+        counter = registry.counter("jobs_total", "Jobs")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("jobs_total").inc(-1)
+
+    def test_same_name_and_labels_is_the_same_series(self, registry):
+        registry.counter("hits", labels={"kind": "a"}).inc()
+        registry.counter("hits", labels={"kind": "a"}).inc()
+        registry.counter("hits", labels={"kind": "b"}).inc()
+        text = registry.render()
+        assert 'hits{kind="a"} 2' in text
+        assert 'hits{kind="b"} 1' in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self, registry):
+        hist = registry.histogram("t_seconds", "T",
+                                  buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 't_seconds_bucket{le="0.1"} 1' in text
+        assert 't_seconds_bucket{le="1"} 3' in text
+        assert 't_seconds_bucket{le="10"} 4' in text
+        assert 't_seconds_bucket{le="+Inf"} 5' in text
+        assert "t_seconds_count 5" in text
+        assert "t_seconds_sum 56.05" in text
+
+    def test_boundary_value_lands_in_its_bucket(self, registry):
+        hist = registry.histogram("b_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)             # le="1" is inclusive
+        assert 'b_seconds_bucket{le="1"} 1' in registry.render()
+
+
+class TestRegistry:
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_render_is_sorted_and_typed(self, registry):
+        registry.gauge("zz", "Last").set(1)
+        registry.counter("aa_total", "First").inc()
+        text = registry.render()
+        assert text.index("aa_total") < text.index("zz")
+        assert "# HELP aa_total First" in text
+        assert "# TYPE aa_total counter" in text
+        assert "# TYPE zz gauge" in text
+        assert text.endswith("\n")
+
+    def test_render_empty_registry(self, registry):
+        assert registry.render() == "\n"
+
+    def test_concurrent_increments_are_not_lost(self, registry):
+        counter = registry.counter("c_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+            get_registry().counter("swap_test_total").inc()
+            assert "swap_test_total 1" in fresh.render()
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -1,0 +1,94 @@
+"""Timeline derivation and rendering of .evt traces."""
+
+from repro.obs.events import (EV_CACHE_PROBE, EV_COMMIT, EV_DISPATCH,
+                              EV_MEM_ACCESS, EV_RA_ENTER, EV_RA_EXIT,
+                              EV_SQUASH, LEVEL_IDS)
+from repro.obs.view import render_html, render_text, summarize_events
+
+
+def synthetic_stream():
+    """A tiny hand-checkable trace: dispatch 3, commit 1, squash 2,
+    one runahead episode, two memory accesses."""
+    return [
+        (0, EV_DISPATCH, 1, 0x10),
+        (1, EV_DISPATCH, 2, 0x14),
+        (2, EV_DISPATCH, 3, 0x18),
+        (3, EV_COMMIT, 1, 0x10),
+        (4, EV_RA_ENTER, 2, 0x14),
+        (5, EV_MEM_ACCESS, 0x40, LEVEL_IDS["mem"]),
+        (6, EV_MEM_ACCESS, 0x80, LEVEL_IDS["l1"]),
+        (10, EV_RA_EXIT, 6, 0x14),
+        (10, EV_SQUASH, 2, 0x14),
+        (12, EV_CACHE_PROBE, 0x40, LEVEL_IDS["l3"]),
+    ]
+
+
+class TestSummarize:
+    def test_counts_and_span(self):
+        summary = summarize_events(synthetic_stream())
+        assert summary["events"] == 10
+        assert summary["first_cycle"] == 0
+        assert summary["last_cycle"] == 12
+        assert summary["counts"]["dispatch"] == 3
+        assert summary["counts"]["commit"] == 1
+
+    def test_occupancy_tracks_dispatch_commit_squash(self):
+        summary = summarize_events(synthetic_stream())
+        # 3 dispatched, 1 committed -> peak 3, squash of 2 drains it.
+        assert summary["max_occupancy"] == 3
+        assert max(summary["occupancy_bins"]) == 3
+        assert summary["occupancy_bins"][-1] == 0 or \
+            summary["occupancy_bins"][-1] <= 3
+
+    def test_episode_pairing(self):
+        summary = summarize_events(synthetic_stream())
+        assert len(summary["episodes"]) == 1
+        episode = summary["episodes"][0]
+        assert episode["enter"] == 4
+        assert episode["exit"] == 10
+        assert episode["cycles"] == 6
+        assert "open" not in episode
+
+    def test_unterminated_episode_is_flagged(self):
+        events = [(0, EV_DISPATCH, 1, 0), (5, EV_RA_ENTER, 1, 0x20),
+                  (9, EV_COMMIT, 1, 0)]
+        summary = summarize_events(events)
+        assert summary["episodes"][-1]["open"] is True
+        assert summary["episodes"][-1]["exit"] == 9
+
+    def test_levels_breakdown(self):
+        summary = summarize_events(synthetic_stream())
+        assert summary["levels"] == {"mem": 1, "l1": 1, "l3": 1}
+
+    def test_empty_stream(self):
+        summary = summarize_events([])
+        assert summary["events"] == 0
+        assert summary["episodes"] == []
+        assert summary["max_occupancy"] == 0
+
+    def test_bins_parameter(self):
+        summary = summarize_events(synthetic_stream(), bins=8)
+        assert len(summary["occupancy_bins"]) == 8
+        assert len(summary["runahead_bins"]) == 8
+
+
+class TestRender:
+    def test_text_mentions_the_load_bearing_figures(self):
+        text = render_text(summarize_events(synthetic_stream()))
+        assert "10 events" in text
+        assert "peak 3" in text
+        assert "runahead episodes: 1" in text
+        assert "dispatch" in text
+        assert "R" in text                 # the runahead band row
+
+    def test_text_on_empty_trace(self):
+        text = render_text(summarize_events([]))
+        assert "0 events" in text
+
+    def test_html_is_self_contained(self):
+        html = render_html(summarize_events(synthetic_stream()),
+                           title="demo.evt")
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html and "polyline" in html
+        assert "demo.evt" in html
+        assert "http" not in html          # no external assets

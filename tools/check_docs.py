@@ -51,7 +51,7 @@ _FLAG = re.compile(r"(?<![\w\-/.])--[a-z][a-z0-9\-]*")
 _SWEEP_NAME = re.compile(r"repro sweep ([a-z0-9_]+)")
 _RUN_KIND = re.compile(r"repro run ([a-z0-9_]+)")
 #: Command groups whose subcommand names docs may reference.
-_GROUPED = ("campaign", "trace")
+_GROUPED = ("campaign", "trace", "obs")
 _GROUP_SUB = re.compile(
     r"repro (" + "|".join(_GROUPED) + r") ([a-z][a-z0-9\-]*)")
 _KEYED_NAME = re.compile(
