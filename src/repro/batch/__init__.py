@@ -1,0 +1,36 @@
+"""Batched fleet execution: advance N cores per step call.
+
+``repro.batch`` is the struct-of-arrays fast path of ROADMAP item 1:
+
+* :class:`~repro.batch.fleet.FleetCore` — the kernel: N independent
+  lanes advanced in a single budgeted pass per ``step`` call, with
+  ragged retirement and width-capped admission;
+* :class:`~repro.batch.runs.FleetRuns` — run-spec planning and
+  cross-lane deduplication for bare workload runs;
+* :class:`~repro.batch.executor.FleetExecutor` — the ``Executor``
+  implementation behind ``executor="fleet"`` (CLI ``--executor fleet``);
+* :func:`~repro.batch.lockstep.run_lockstep_fleet` — the fleet backend
+  of ``MultiCoreSystem.run(backend="fleet")``.
+
+Every path is bit-identical to its serial counterpart; see
+``docs/PERFORMANCE.md`` for the layout, the invariants, and the
+measured ``cores`` scaling axis in ``BENCH_core.json``.
+"""
+
+from .executor import FLEET_KINDS, FleetExecutor, fleet_trial_runner
+from .fleet import DEFAULT_BUDGET, DEFAULT_WIDTH, FleetCore, run_fleet
+from .lockstep import run_lockstep_fleet
+from .runs import FleetRuns, run_spec
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "DEFAULT_WIDTH",
+    "FLEET_KINDS",
+    "FleetCore",
+    "FleetExecutor",
+    "FleetRuns",
+    "fleet_trial_runner",
+    "run_fleet",
+    "run_lockstep_fleet",
+    "run_spec",
+]

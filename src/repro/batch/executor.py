@@ -1,0 +1,148 @@
+"""``executor="fleet"``: run a sweep's core-runs as one batched fleet.
+
+:class:`FleetExecutor` implements the :class:`~repro.harness.executor.Executor`
+protocol.  It decomposes the *fleetable* trial kinds — ``ipc`` (two core
+runs) and ``run`` (one) — into run specs, executes every distinct spec
+through one :class:`~repro.batch.fleet.FleetCore`, then assembles the
+per-trial records through the exact record builders the serial runner
+uses (:func:`repro.harness.runner.ipc_record` /
+:func:`~repro.harness.runner.workload_record`).  Non-fleetable kinds
+(attack, extract, window, taint — their inner loops live behind
+receivers and topologies, not bare workload runs) fall back to the
+serial trial runner, so ``execute`` is total over every sweep.
+
+Byte-identity with :class:`~repro.harness.executor.SerialExecutor` holds
+by construction: the same cache plan, the same record builders over
+cores built by the same registry calls, reassembled in trial order.  The
+fleet-vs-serial differential over every quick-tier preset pins it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..harness.executor import (Executor, SweepResult, _seal, _timed_run,
+                                plan_sweep)
+from ..harness.runner import (TrialError, ipc_record, run_trial,
+                              workload_record)
+from ..harness.spec import Sweep, Trial
+from ..obs.metrics import get_registry
+from .fleet import DEFAULT_BUDGET, DEFAULT_WIDTH
+from .runs import FleetRuns
+
+#: Trial kinds the fleet kernel can decompose into bare core runs.
+FLEET_KINDS = frozenset({"ipc", "run"})
+
+
+def _plan_ipc(trial: Trial, runs: FleetRuns):
+    params = trial.params
+    max_cycles = params.get("max_cycles", 5_000_000)
+    base_key = runs.add(params["workload"],
+                        params.get("baseline", "none"),
+                        params.get("baseline_kwargs", {}),
+                        params.get("config_base", "paper"),
+                        params.get("config"), max_cycles)
+    cont_key = runs.add(params["workload"],
+                        params.get("contender", "original"),
+                        params.get("contender_kwargs", {}),
+                        params.get("config_base", "paper"),
+                        params.get("config"), max_cycles)
+    return base_key, cont_key
+
+
+def _plan_run(trial: Trial, runs: FleetRuns):
+    params = trial.params
+    key = runs.add(params["workload"],
+                   params.get("runahead", "none"),
+                   params.get("runahead_kwargs", {}),
+                   params.get("config_base", "paper"),
+                   params.get("config"),
+                   params.get("max_cycles", 5_000_000))
+    return (key,)
+
+
+def _assemble(trial: Trial, runs: FleetRuns, keys) -> Dict:
+    if trial.kind == "ipc":
+        base_key, cont_key = keys
+        workload, baseline, base = runs.core(base_key)
+        _, contender, cont = runs.core(cont_key)
+        return ipc_record(workload, baseline, contender, base, cont)
+    (key,) = keys
+    workload, controller, core = runs.core(key)
+    return workload_record(workload, controller, core)
+
+
+class FleetExecutor(Executor):
+    """Batch every fleetable trial's core-runs through one fleet.
+
+    ``width`` caps concurrently-live lanes (memory bound), ``dedup``
+    computes each distinct run spec once per batch (purity — the
+    in-memory analogue of the result cache), ``budget`` sets the cycles
+    each lane advances per fleet pass.
+    """
+
+    def __init__(self, width: Optional[int] = DEFAULT_WIDTH,
+                 dedup: bool = True, budget: int = DEFAULT_BUDGET):
+        self.width = width
+        self.dedup = dedup
+        self.budget = budget
+
+    def execute(self, sweep: Sweep, cache="auto", force: bool = False,
+                progress: Optional[Callable[[str], None]] = None) \
+            -> SweepResult:
+        started = time.monotonic()
+        plan = plan_sweep(sweep, cache=cache, force=force,
+                          progress=progress)
+        runs = FleetRuns(width=self.width, dedup=self.dedup,
+                         budget=self.budget)
+        keys_by_index: Dict[int, tuple] = {}
+        for index, trial in plan.pending:
+            if trial.kind not in FLEET_KINDS:
+                continue
+            try:
+                planner = _plan_ipc if trial.kind == "ipc" else _plan_run
+                keys_by_index[index] = planner(trial, runs)
+            except Exception as exc:
+                raise TrialError(
+                    f"trial {trial.label!r} failed: {exc}") from exc
+        if len(runs):
+            begin = time.monotonic()
+            runs.execute()
+            get_registry().histogram(
+                "repro_fleet_batch_seconds",
+                "Wall time of one fleet batch").observe(
+                time.monotonic() - begin)
+        for index, trial in plan.pending:
+            keys = keys_by_index.get(index)
+            if keys is None:
+                plan.finish(index, trial, _timed_run(trial))
+                continue
+            try:
+                result = _assemble(trial, runs, keys)
+            except TrialError:
+                raise
+            except Exception as exc:
+                raise TrialError(
+                    f"trial {trial.label!r} failed: {exc}") from exc
+            plan.finish(index, trial, result)
+        return _seal(plan, workers=1, started=started)
+
+
+def fleet_trial_runner(trial: Trial) -> Dict:
+    """Single-trial entry point for campaign workers
+    (``repro campaign worker --executor fleet``): fleetable kinds run
+    their core-runs as a (small) fleet, everything else falls back to
+    the serial :func:`~repro.harness.runner.run_trial`."""
+    if trial.kind not in FLEET_KINDS:
+        return run_trial(trial)
+    runs = FleetRuns()
+    try:
+        planner = _plan_ipc if trial.kind == "ipc" else _plan_run
+        keys = planner(trial, runs)
+        runs.execute()
+        return _assemble(trial, runs, keys)
+    except TrialError:
+        raise
+    except Exception as exc:
+        raise TrialError(f"trial {trial.label!r} failed: {exc}") from exc

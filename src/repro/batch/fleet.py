@@ -1,0 +1,162 @@
+"""Struct-of-arrays fleet kernel: advance N cores per step call.
+
+A :class:`FleetCore` holds N independent :class:`~repro.pipeline.core.Core`
+instances as *lanes* and advances every live lane in a single pass per
+:meth:`FleetCore.step` call.  The per-lane scheduler state lives in flat
+parallel columns indexed by lane id — core handles, bound ``step`` /
+``_next_event`` methods, cycle ceilings, completion flags, result slots —
+so the driver loop touches plain list slots instead of re-resolving
+attributes and re-entering ``Core.run`` per instance.  The
+micro-architectural state itself (ROB fields, ``pending_srcs`` wakeup
+counters, ``_ready`` heaps, MSHR/fill queues) stays inside each lane's
+existing core objects: that is what makes lane behaviour *provably*
+identical to a solo run — the fleet calls exactly the same stage code in
+exactly the same order, it only owns the outer run loop.
+
+Invariants (pinned by ``tests/batch/``):
+
+* **Bit identity.**  Every lane produces a ``CoreStats`` equal to what a
+  solo ``Core.run(max_cycles)`` on an identically-built core produces —
+  including the quiescent-break and cycle-ceiling edge cases.  The
+  per-lane advance below is ``Core.run``'s loop verbatim, split into
+  budgeted segments.
+* **Segment safety.**  A lane may be paused after any iteration and
+  resumed later (other lanes advance in between); cores share no
+  mutable state, so interleaving cannot change any lane's trajectory.
+* **Ragged retirement.**  Lanes finish at different times.  A finished
+  lane has ``stats.cycles`` sealed immediately (exactly where
+  ``Core.run`` seals it) and stops consuming budget; when a ``width``
+  cap bounds the number of live lanes, a queued lane is admitted the
+  moment one retires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Cycles each live lane advances per ``step`` call.  Large enough to
+#: amortize the per-lane pass overhead, small enough that ragged
+#: completion backfills promptly.
+DEFAULT_BUDGET = 4096
+
+#: Default cap on concurrently-live lanes (bounds peak memory: each live
+#: lane holds a full core + hierarchy).
+DEFAULT_WIDTH = 8
+
+
+class FleetCore:
+    """Advance a fleet of independent cores in budgeted passes.
+
+    ``width`` caps how many lanes are live at once; further lanes queue
+    and are admitted as earlier lanes retire (ragged backfill).  ``None``
+    means unbounded — every lane is live from the start.
+    """
+
+    def __init__(self, width: Optional[int] = DEFAULT_WIDTH):
+        self.width = None if width is None else max(1, width)
+        # Parallel columns, indexed by lane id.
+        self._cores: List = []         # Core handles (the lane state root)
+        self._steps: List = []         # bound Core.step per lane
+        self._nexts: List = []         # bound Core._next_event per lane
+        self._limits: List[int] = []   # max_cycles ceiling per lane
+        self._done: List[bool] = []    # sealed flags per lane
+        self._live: List[int] = []     # admitted, unfinished lane ids
+        self._queue: List[int] = []    # not yet admitted (width overflow)
+
+    # ------------------------------------------------------------ build
+
+    def add_lane(self, core, max_cycles: int = 5_000_000) -> int:
+        """Register one core as a lane; returns its lane id."""
+        lane = len(self._cores)
+        self._cores.append(core)
+        self._steps.append(core.step)
+        self._nexts.append(core._next_event)
+        self._limits.append(max_cycles)
+        self._done.append(False)
+        if self.width is None or len(self._live) < self.width:
+            self._live.append(lane)
+        else:
+            self._queue.append(lane)
+        return lane
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    @property
+    def remaining(self) -> int:
+        """Lanes not yet retired (live + queued)."""
+        return len(self._live) + len(self._queue)
+
+    def core(self, lane: int):
+        """The (possibly still running) core behind one lane."""
+        return self._cores[lane]
+
+    def done(self, lane: int) -> bool:
+        return self._done[lane]
+
+    # ------------------------------------------------------------ drive
+
+    def step(self, budget: int = DEFAULT_BUDGET) -> int:
+        """One pass: advance every live lane up to ``budget`` cycles.
+
+        Returns the number of unfinished lanes.  The inner loop is
+        ``Core.run`` verbatim (same guards, same seal), restricted to
+        ``budget`` iterations so lanes interleave.
+        """
+        cores = self._cores
+        steps = self._steps
+        nexts = self._nexts
+        limits = self._limits
+        survivors: List[int] = []
+        for lane in self._live:
+            core = cores[lane]
+            step = steps[lane]
+            next_event = nexts[lane]
+            limit = limits[lane]
+            n = budget
+            finished = False
+            # --- Core.run loop, budget-segmented -------------------
+            while n > 0:
+                if core.halted or core.cycle >= limit:
+                    finished = True
+                    break
+                step()
+                if not core._activity and not core.halted:
+                    skip_to = next_event()
+                    if skip_to is None:
+                        finished = True     # quiescent: nothing can happen
+                        break
+                    if skip_to > core.cycle:
+                        core.cycle = skip_to
+                n -= 1
+            else:
+                # Budget exhausted mid-run: re-check the run condition so
+                # a lane that halted on its last budgeted cycle retires
+                # now instead of surviving one spurious extra pass.
+                if core.halted or core.cycle >= limit:
+                    finished = True
+            # -------------------------------------------------------
+            if finished:
+                core.stats.cycles = core.cycle      # seal, as Core.run does
+                self._done[lane] = True
+                if self._queue:                     # ragged backfill
+                    survivors.append(self._queue.pop(0))
+            else:
+                survivors.append(lane)
+        self._live = survivors
+        return len(survivors) + len(self._queue)
+
+    def run(self, budget: int = DEFAULT_BUDGET) -> List:
+        """Step until every lane retires; returns the cores, lane order."""
+        while self.step(budget):
+            pass
+        return list(self._cores)
+
+
+def run_fleet(cores_with_limits, width: Optional[int] = DEFAULT_WIDTH,
+              budget: int = DEFAULT_BUDGET) -> List:
+    """Convenience: run ``[(core, max_cycles), ...]`` as one fleet."""
+    fleet = FleetCore(width=width)
+    for core, max_cycles in cores_with_limits:
+        fleet.add_lane(core, max_cycles=max_cycles)
+    return fleet.run(budget=budget)

@@ -1,0 +1,75 @@
+"""Fleet-style lockstep driver for :class:`~repro.multicore.system.MultiCoreSystem`.
+
+Same global-clock semantics as ``MultiCoreSystem.run`` — install
+completed shared fills, step each non-halted slot in slot order, respawn
+restart slots, skip globally when every core is idle — but driven over
+flat per-slot columns (core handles, bound steppers, restart flags)
+hoisted out of the cycle loop, so the N-core inner loop pays list
+indexing instead of per-cycle attribute traversal.  Respawns refresh the
+columns in place; the step order and every simulator call are identical
+to the object-walking loop, which is what keeps the two backends
+bit-identical (pinned by ``tests/batch/test_lockstep.py``).
+"""
+
+from __future__ import annotations
+
+
+def run_lockstep_fleet(system, max_cycles: int = 5_000_000,
+                       primary: int = 0):
+    """Drive ``system`` to completion; returns the primary core.
+
+    Callers go through ``MultiCoreSystem.run(..., backend="fleet")``,
+    which validates the slot list before dispatching here.
+    """
+    slots = system.slots
+    shared = system.shared
+    primary_slot = slots[primary]
+    # Per-slot columns, refreshed on respawn.
+    cores = [slot.core for slot in slots]
+    steps = [core.step for core in cores]
+    restart = [slot.restart and slot is not primary_slot
+               for slot in slots]
+    indices = tuple(range(len(slots)))
+    primary_core = cores[primary]
+    apply_completed = shared.apply_completed
+    now = system.cycle
+    while now < max_cycles:
+        apply_completed(now)
+        active = False
+        for i in indices:
+            core = cores[i]
+            if core.halted:
+                if not restart[i]:
+                    continue
+                core = slots[i].respawn(now)
+                cores[i] = core
+                steps[i] = core.step
+                active = True
+            core.cycle = now
+            steps[i]()
+            if core._activity:
+                active = True
+        if primary_core.halted:
+            break
+        now += 1
+        if active:
+            continue
+        # Global cycle skip: every core idle — jump to the earliest
+        # cycle at which any of them can make progress.
+        skip_to = None
+        for i in indices:
+            core = cores[i]
+            if core.halted:
+                continue
+            event = core._next_event()
+            if event is not None and (skip_to is None or
+                                      event < skip_to):
+                skip_to = event
+        if skip_to is None:
+            break              # system quiescent: nothing can happen
+        if skip_to > now:
+            now = skip_to
+    system.cycle = now
+    for slot in slots:
+        slot.core.stats.cycles = slot.core.cycle
+    return primary_slot.core

@@ -1,0 +1,128 @@
+"""Plan single-core workload runs and execute them as one fleet.
+
+The harness runs cores through :meth:`repro.workloads.base.Workload.run`
+— a pure function of (workload, controller spec, config, cycle ceiling).
+:class:`FleetRuns` collects those runs as *specs*, builds one fresh core
+per **distinct** spec (exactly the objects ``Workload.run`` would
+build), advances them all through a :class:`~repro.batch.fleet.FleetCore`,
+and hands back finished cores by spec key.
+
+Deduplication is the batch-level win the executor cache already relies
+on: the simulator is deterministic and trials are pure, so two lanes
+with identical specs are the *same* computation — the fleet computes it
+once and serves both.  Records assembled from a deduped core are
+bit-identical to records from a repeated run by that same purity
+argument (it is the in-memory analogue of the on-disk result cache).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..harness.registry import get_workload, make_config, make_controller
+from ..obs.metrics import get_registry
+from ..pipeline.core import Core
+from .fleet import DEFAULT_BUDGET, DEFAULT_WIDTH, FleetCore
+
+
+def run_spec(workload: str, runahead: str, runahead_kwargs: Optional[dict],
+             config_base: str, config: Optional[dict],
+             max_cycles: int) -> str:
+    """Canonical key for one core run — every knob that affects it."""
+    return json.dumps({
+        "workload": workload,
+        "runahead": runahead,
+        "runahead_kwargs": runahead_kwargs or {},
+        "config_base": config_base,
+        "config": config,
+        "max_cycles": max_cycles,
+    }, sort_keys=True)
+
+
+class FleetRuns:
+    """Collect run specs, execute distinct ones as a fleet, serve cores."""
+
+    def __init__(self, width: Optional[int] = DEFAULT_WIDTH,
+                 dedup: bool = True, budget: int = DEFAULT_BUDGET):
+        self.width = width
+        self.dedup = dedup
+        self.budget = budget
+        self._specs: Dict[str, dict] = {}       # key -> parsed spec
+        self._order: List[str] = []             # first-appearance order
+        self._requests = 0
+        # key -> (workload, controller, config) resolved at add() time
+        self._resolved: Dict[str, Tuple] = {}
+        # key -> (workload, controller, core); filled by execute()
+        self._runs: Dict[str, Tuple] = {}
+
+    def add(self, workload: str, runahead: str,
+            runahead_kwargs: Optional[dict], config_base: str,
+            config: Optional[dict], max_cycles: int) -> str:
+        """Register one needed run; returns its spec key.
+
+        Registry names resolve here, not in :meth:`execute`, so an
+        unknown workload/controller raises while the requesting trial
+        is still on the stack (the executor attributes it in its
+        :class:`~repro.harness.runner.TrialError`, same as serial).
+        """
+        spec = run_spec(workload, runahead, runahead_kwargs, config_base,
+                        config, max_cycles)
+        self._requests += 1
+        # With dedup off every request gets its own lane, so salt the
+        # key with the request ordinal to keep identical specs apart.
+        key = spec if self.dedup else f"{self._requests}:{spec}"
+        if key not in self._specs:
+            resolved = (get_workload(workload),
+                        make_controller(runahead,
+                                        **(runahead_kwargs or {})),
+                        make_config(config_base, config))
+            self._order.append(key)
+            self._specs[key] = json.loads(spec)
+            self._resolved[key] = resolved
+        return key
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def execute(self) -> None:
+        """Build one core per distinct spec and run them as a fleet."""
+        if not self._order:
+            return
+        fleet = FleetCore(width=self.width)
+        lanes: List[Tuple[str, Tuple]] = []
+        for key in self._order:
+            spec = self._specs[key]
+            workload, controller, config = self._resolved[key]
+            # Exactly the core Workload.run builds for this spec.
+            program, image, sp = workload.materialize()
+            core = Core(program, memory_image=image, config=config,
+                        runahead=controller, initial_sp=sp,
+                        warm_icache=True)
+            fleet.add_lane(core, max_cycles=spec["max_cycles"])
+            lanes.append((key, (workload, controller, core)))
+        fleet.run(budget=self.budget)
+        for key, run in lanes:
+            self._runs[key] = run
+        registry = get_registry()
+        registry.counter(
+            "repro_fleet_lanes_total",
+            "Core runs handled by the fleet kernel, by outcome",
+            labels={"outcome": "computed"}).inc(len(lanes))
+        deduped = self._requests - len(lanes)
+        if deduped > 0:
+            registry.counter(
+                "repro_fleet_lanes_total",
+                "Core runs handled by the fleet kernel, by outcome",
+                labels={"outcome": "deduped"}).inc(deduped)
+
+    def core(self, key: str) -> Tuple:
+        """Finished ``(workload, controller, core)`` for one spec key.
+
+        Raises exactly what ``Workload.run`` raises for a run that hit
+        its cycle ceiling, so fleet-assembled trial errors match serial.
+        """
+        workload, controller, core = self._runs[key]
+        if not core.halted:
+            raise RuntimeError(f"workload {workload.name} did not halt")
+        return workload, controller, core

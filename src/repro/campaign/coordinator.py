@@ -217,10 +217,15 @@ class CoordinatorState:
             self.leases[lease_id] = lease
             self.by_key[key] = lease_id
             sweep, index = key
+            # ttl_seconds is monotonic-relative (how long from *now*
+            # the lease lives) — never a wall-clock timestamp.  Mixing
+            # time.time() into a monotonic-derived expiry made an NTP
+            # step or wall/monotonic drift mis-schedule renewals.
+            ttl = round(lease.expires - now, 3)
             self.cdir.append_event({
                 "event": "lease", "run": self.run_id, "sweep": sweep,
                 "index": index, "host": host, "lease": lease_id,
-                "expires": round(time.time() + (lease.expires - now), 3)})
+                "ttl_seconds": ttl})
             self._m_claims.inc()
             self._update_gauges()
             return 200, {
@@ -228,6 +233,7 @@ class CoordinatorState:
                 "trial": self.trials[key].to_dict(),
                 "spec_hash": self.trials[key].spec_hash(),
                 "lease_seconds": self.lease_seconds,
+                "ttl_seconds": ttl,
                 "attempt": self.retries.get(key, 0),
             }
 
@@ -248,7 +254,8 @@ class CoordinatorState:
                 "host": lease.host, "lease": lease_id})
             self._m_renewals.inc()
             return 200, {"ok": True,
-                         "lease_seconds": self.lease_seconds}
+                         "lease_seconds": self.lease_seconds,
+                         "ttl_seconds": round(lease.expires - now, 3)}
 
     def complete(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         lease_id = body.get("lease")

@@ -42,7 +42,16 @@ EXIT_UNREACHABLE = 3
 
 
 class _Heartbeat(threading.Thread):
-    """Renews one lease at a third of its lifetime until stopped.
+    """Renews one lease at a third of its remaining lifetime until
+    stopped.
+
+    The cadence comes from the coordinator's monotonic-relative
+    ``ttl_seconds`` — how long the lease lives from the moment it was
+    issued/renewed — never from a wall-clock timestamp, so NTP steps
+    and wall/monotonic drift cannot mis-schedule renewals.  Each
+    successful renewal re-reads ``ttl_seconds``: near a per-trial
+    deadline the coordinator caps the ttl below ``lease_seconds`` and
+    the heartbeat tightens to match.
 
     A refused renewal (unknown lease / past the per-trial timeout)
     just means the coordinator will re-enqueue the trial; the worker
@@ -50,27 +59,32 @@ class _Heartbeat(threading.Thread):
     worst case is one harmlessly duplicated (deterministic) result.
     """
 
-    def __init__(self, url: str, lease_id: str, lease_seconds: float,
+    def __init__(self, url: str, lease_id: str, ttl_seconds: float,
                  policy: RetryPolicy):
         super().__init__(daemon=True, name=f"lease-{lease_id[:8]}")
         self.url = url
         self.lease_id = lease_id
-        self.interval = max(0.05, lease_seconds / 3.0)
+        self.interval = max(0.05, ttl_seconds / 3.0)
         self.policy = policy
         self._stop = threading.Event()
 
     def run(self) -> None:
         while not self._stop.wait(self.interval):
             try:
-                request_json(f"{self.url}/renew",
-                             payload={"lease": self.lease_id},
-                             policy=self.policy,
-                             key=("renew", self.lease_id))
+                _, payload = request_json(
+                    f"{self.url}/renew",
+                    payload={"lease": self.lease_id},
+                    policy=self.policy,
+                    key=("renew", self.lease_id))
             except Unreachable:
                 # Keep trying on the next beat: the trial is still
                 # worth finishing, and the lease may outlive a brief
                 # partition or coordinator restart.
-                pass
+                continue
+            if isinstance(payload, dict):
+                ttl = payload.get("ttl_seconds")
+                if ttl:
+                    self.interval = max(0.05, float(ttl) / 3.0)
 
     def stop(self) -> None:
         self._stop.set()
@@ -128,8 +142,8 @@ def run_worker(url: str, host: Optional[str] = None,
 
         lease_id = claim["lease"]
         trial = Trial.from_dict(claim["trial"])
-        beat = _Heartbeat(base, lease_id,
-                          float(claim.get("lease_seconds", 30.0)), policy)
+        ttl = claim.get("ttl_seconds") or claim.get("lease_seconds", 30.0)
+        beat = _Heartbeat(base, lease_id, float(ttl), policy)
         beat.start()
         try:
             payload: Dict[str, Any] = {

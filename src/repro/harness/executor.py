@@ -10,11 +10,15 @@ measurement.  (A trial's ``seed`` is part of its spec and cache key,
 reserved for future stochastic workloads; current runners don't
 consume it.)
 
-Three executors ship today:
+Four executors ship today:
 
 * :class:`SerialExecutor` — everything inline, no processes;
 * :class:`ProcessPoolExecutor` — the classic ``multiprocessing`` pool
   fan-out (byte-identical to the serial path by construction);
+* :class:`repro.batch.FleetExecutor` — the batched struct-of-arrays
+  fleet kernel (``executor="fleet"``): all of a sweep's bare core-runs
+  advance as lanes of one :class:`repro.batch.FleetCore`, deduplicating
+  identical run specs within the batch;
 * :class:`repro.campaign.CampaignExecutor` — journaled, resumable,
   work-stealing execution for large campaigns (crash resume, retries,
   per-trial timeouts, live status).  Campaigns can also shard across
@@ -47,6 +51,19 @@ from .spec import Sweep, Trial
 
 #: Environment variable providing the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable naming the default executor (see EXECUTORS).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Executor names resolvable by :func:`make_executor` (and the CLI's
+#: ``--executor`` flag / ``$REPRO_EXECUTOR``).  ``tools/check_docs.py``
+#: validates every ``executor=<name>`` mentioned in the docs against
+#: this table.
+EXECUTORS = {
+    "serial": "everything inline in the calling process",
+    "pool": "multiprocessing fan-out across worker processes",
+    "fleet": "batched struct-of-arrays fleet kernel (repro.batch)",
+}
 
 _warned_bad_workers = False
 
@@ -330,13 +347,31 @@ class ProcessPoolExecutor(Executor):
         return _seal(plan, workers=self.workers, started=started)
 
 
+def make_executor(name: str, workers: Optional[int] = None) -> Executor:
+    """Resolve an executor name (see :data:`EXECUTORS`) to an instance.
+
+    ``fleet`` resolves lazily to :class:`repro.batch.FleetExecutor` so
+    the harness package has no import-time dependency on the batch
+    kernel.
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "pool":
+        return ProcessPoolExecutor(workers=workers)
+    if name == "fleet":
+        from ..batch.executor import FleetExecutor
+        return FleetExecutor()
+    raise ValueError(f"unknown executor {name!r} "
+                     f"(known: {', '.join(sorted(EXECUTORS))})")
+
+
 def run_sweep(sweep: Sweep, workers: Optional[int] = None, cache="auto",
               force: bool = False,
-              progress: Optional[Callable[[str], None]] = None) \
-        -> SweepResult:
+              progress: Optional[Callable[[str], None]] = None,
+              executor: Optional[str] = None) -> SweepResult:
     """Execute every trial of ``sweep``; results come back in trial
     order.  Thin wrapper that picks an :class:`Executor` from
-    ``workers`` — the stable entry point since PR 1.
+    ``executor``/``workers`` — the stable entry point since PR 1.
 
     Parameters
     ----------
@@ -352,9 +387,19 @@ def run_sweep(sweep: Sweep, workers: Optional[int] = None, cache="auto",
         still written back).
     progress:
         Optional callable receiving one line per trial state change.
+    executor:
+        Executor name (see :data:`EXECUTORS`); ``None`` reads
+        ``$REPRO_EXECUTOR`` and otherwise keeps the historical
+        workers-based pick (serial at 1, pool above).  All executors
+        produce byte-identical results, so this only chooses *how* the
+        same answer is computed.
     """
+    name = executor or os.environ.get(EXECUTOR_ENV) or None
     workers = default_workers() if workers is None else max(1, workers)
-    executor: Executor = SerialExecutor() if workers == 1 \
-        else ProcessPoolExecutor(workers=workers)
-    return executor.execute(sweep, cache=cache, force=force,
-                            progress=progress)
+    if name:
+        chosen = make_executor(name, workers=workers)
+    else:
+        chosen = SerialExecutor() if workers == 1 \
+            else ProcessPoolExecutor(workers=workers)
+    return chosen.execute(sweep, cache=cache, force=force,
+                          progress=progress)

@@ -130,19 +130,13 @@ def _run_extract(trial: Trial) -> Dict[str, Any]:
     return result.to_dict()
 
 
-def _run_ipc(trial: Trial) -> Dict[str, Any]:
-    params = trial.params
-    workload = get_workload(params["workload"])
-    config = _config_from(params)
-    max_cycles = params.get("max_cycles", 5_000_000)
-    baseline = make_controller(params.get("baseline", "none"),
-                               **params.get("baseline_kwargs", {}))
-    contender = make_controller(params.get("contender", "original"),
-                                **params.get("contender_kwargs", {}))
-    base = workload.run(runahead=baseline, config=config,
-                        max_cycles=max_cycles)
-    cont = workload.run(runahead=contender, config=config,
-                        max_cycles=max_cycles)
+def ipc_record(workload, baseline, contender, base, cont) -> Dict[str, Any]:
+    """The deterministic ``ipc`` payload from two finished cores.
+
+    Shared by the serial runner and the fleet executor
+    (:mod:`repro.batch`): both assemble records through this one
+    function, so batched execution is bit-identical by construction.
+    """
     speedup = (cont.stats.ipc / base.stats.ipc) if base.stats.ipc else 0.0
     return {
         "workload": workload.name,
@@ -157,6 +151,35 @@ def _run_ipc(trial: Trial) -> Dict[str, Any]:
         "stats_base": _stats_dict(base.stats),
         "stats_contender": _stats_dict(cont.stats),
     }
+
+
+def workload_record(workload, controller, core) -> Dict[str, Any]:
+    """The deterministic ``run`` payload from one finished core (shared
+    with the fleet executor, like :func:`ipc_record`)."""
+    return {
+        "workload": workload.name,
+        "runahead": controller.name,
+        "halted": core.halted,
+        "cycles": core.stats.cycles,
+        "ipc": core.stats.ipc,
+        "stats": _stats_dict(core.stats),
+    }
+
+
+def _run_ipc(trial: Trial) -> Dict[str, Any]:
+    params = trial.params
+    workload = get_workload(params["workload"])
+    config = _config_from(params)
+    max_cycles = params.get("max_cycles", 5_000_000)
+    baseline = make_controller(params.get("baseline", "none"),
+                               **params.get("baseline_kwargs", {}))
+    contender = make_controller(params.get("contender", "original"),
+                                **params.get("contender_kwargs", {}))
+    base = workload.run(runahead=baseline, config=config,
+                        max_cycles=max_cycles)
+    cont = workload.run(runahead=contender, config=config,
+                        max_cycles=max_cycles)
+    return ipc_record(workload, baseline, contender, base, cont)
 
 
 def _run_window(trial: Trial) -> Dict[str, Any]:
@@ -178,14 +201,7 @@ def _run_workload(trial: Trial) -> Dict[str, Any]:
                                  **params.get("runahead_kwargs", {}))
     core = workload.run(runahead=controller, config=_config_from(params),
                         max_cycles=params.get("max_cycles", 5_000_000))
-    return {
-        "workload": workload.name,
-        "runahead": controller.name,
-        "halted": core.halted,
-        "cycles": core.stats.cycles,
-        "ipc": core.stats.ipc,
-        "stats": _stats_dict(core.stats),
-    }
+    return workload_record(workload, controller, core)
 
 
 def _run_taint(trial: Trial) -> Dict[str, Any]:

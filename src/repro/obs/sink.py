@@ -28,11 +28,20 @@ class TraceSink:
     def close(self) -> None:
         pass
 
+    @property
+    def closed(self) -> bool:
+        return False
+
     def __enter__(self) -> "TraceSink":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        # Runs on error too: whatever was emitted before the exception
+        # is flushed and the file sealed (flush-on-error).  The guard
+        # keeps an explicit close() inside the ``with`` block from
+        # turning into a double-close error here.
+        if not self.closed:
+            self.close()
 
 
 class MemorySink(TraceSink):
@@ -61,6 +70,12 @@ class FileSink(TraceSink):
     Events are varint-encoded in ~64 KiB chunks so multi-million-event
     traces never hold the whole stream in memory.  The file is valid
     only after :meth:`close` (truncated tails raise on load).
+
+    Use as a context manager for exception safety: ``__exit__`` closes
+    (and therefore flushes the buffered tail) even when the block
+    raises.  After :meth:`close`, :meth:`emit` and a second explicit
+    :meth:`close` raise :class:`ValueError` instead of silently
+    buffering into (or writing to) a closed handle.
     """
 
     def __init__(self, path) -> None:
@@ -71,8 +86,15 @@ class FileSink(TraceSink):
         self._prev_cycle = 0
         self.count = 0
 
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
     def emit(self, cycle: int, kind: int, a: int = 0,
              b: int = 0) -> None:
+        if self._handle is None:
+            raise ValueError(f"FileSink({self.path!s}) is closed; "
+                             f"events emitted now would be lost")
         self._pending.append((cycle, kind, a, b))
         self.count += 1
         if len(self._pending) >= 8192:
@@ -86,10 +108,17 @@ class FileSink(TraceSink):
             self._pending.clear()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._flush()
-            self._handle.close()
-            self._handle = None
+        if self._handle is None:
+            raise ValueError(f"FileSink({self.path!s}) already closed")
+        handle = self._handle
+        self._handle = None     # mark closed first: no re-entry even
+        try:                    # if the final flush fails
+            if self._pending:
+                handle.write(
+                    encode_events(self._pending, self._prev_cycle))
+                self._pending.clear()
+        finally:
+            handle.close()      # the OS handle never leaks
 
 
 def attach_sink(core, sink: Optional[TraceSink]) -> None:

@@ -24,7 +24,14 @@ _ROB_DELTA = {EV_DISPATCH: 1, EV_COMMIT: -1, EV_PSEUDO_RETIRE: -1}
 
 def summarize_events(events: Sequence[Event],
                      bins: int = 64) -> Dict:
-    """Derive timeline series from a raw event stream."""
+    """Derive timeline series from a raw event stream.
+
+    Degenerate traces are first-class: a zero-event or single-cycle
+    stream yields a well-formed summary (``span`` is clamped to ≥ 1 so
+    the bin scaling below never divides by zero) and the renderers show
+    a "no events" notice instead of an empty timeline.
+    """
+    bins = max(1, bins)
     counts: Dict[str, int] = {}
     levels: Dict[str, int] = {}
     episodes: List[Dict] = []
@@ -102,7 +109,14 @@ def _sparkline(values: Sequence[float], peak: float) -> str:
 
 def render_text(summary: Dict) -> str:
     """Terminal timeline: ROB occupancy sparkline with runahead bands,
-    event counts, and the episode table."""
+    event counts, and the episode table.
+
+    A zero-event trace renders a notice instead of an empty timeline.
+    """
+    if not summary["events"]:
+        return ("trace: 0 events\n\n"
+                "  (no events — nothing to draw; record with "
+                "`repro obs record <workload>`)")
     lines = [
         f"trace: {summary['events']} events, cycles "
         f"{summary['first_cycle']}..{summary['last_cycle']}",
@@ -142,6 +156,15 @@ def render_html(summary: Dict, title: str = "trace") -> str:
     bands); no scripts, no external assets."""
     bins = summary["bins"]
     width, height = 720, 160
+    if not summary["events"]:
+        return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem;
+        color: #1a1a2e; }} .note {{ color: #666; }}</style></head>
+<body><h1>{title}</h1>
+<p class="note">no events — nothing to draw.</p>
+</body></html>
+"""
     step = width / max(1, bins)
     peak = max(1, summary["max_occupancy"])
     points = " ".join(

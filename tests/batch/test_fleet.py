@@ -1,0 +1,158 @@
+"""Fleet kernel bit-identity: every lane == a solo ``Core.run``.
+
+The property test assembles randomized fleets — mixed workloads, mixed
+controllers (runahead on/off/secure per lane), mixed cycle ceilings,
+small step budgets and width caps so lanes retire mid-run and queued
+lanes backfill (ragged retirement) — and checks every lane's full
+``CoreStats`` against a solo reference run of an identically-built
+core.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.batch.fleet import FleetCore, run_fleet
+from repro.batch.runs import FleetRuns
+from repro.harness.registry import get_workload, make_config, \
+    make_controller
+from repro.pipeline.core import Core
+
+WORKLOADS = ("zeusmp", "mcf", "gems")
+CONTROLLERS = ("none", "original", "secure")
+
+
+def build_core(workload_name, controller_name, config_base="paper"):
+    """Exactly the core ``Workload.run`` builds for this spec."""
+    workload = get_workload(workload_name)
+    program, image, sp = workload.materialize()
+    return Core(program, memory_image=image,
+                config=make_config(config_base, None),
+                runahead=make_controller(controller_name),
+                initial_sp=sp, warm_icache=True)
+
+
+def solo_reference(workload_name, controller_name, max_cycles,
+                   config_base="paper"):
+    core = build_core(workload_name, controller_name, config_base)
+    core.run(max_cycles=max_cycles)
+    return core
+
+
+def assert_cores_identical(fleet_core, solo_core, label):
+    assert fleet_core.halted == solo_core.halted, label
+    assert fleet_core.cycle == solo_core.cycle, label
+    assert dataclasses.asdict(fleet_core.stats) == \
+        dataclasses.asdict(solo_core.stats), label
+
+
+class TestFleetCore:
+    def test_single_lane_matches_solo_run(self):
+        solo = solo_reference("gems", "original", 5_000_000)
+        fleet = FleetCore(width=1)
+        core = build_core("gems", "original")
+        fleet.add_lane(core, max_cycles=5_000_000)
+        fleet.run(budget=777)    # odd budget: segments never line up
+        assert_cores_identical(core, solo, "gems/original")
+
+    def test_cycle_ceiling_lane_matches_solo(self):
+        """A lane truncated by max_cycles seals exactly like Core.run."""
+        solo = solo_reference("mcf", "original", 3_000)
+        assert not solo.halted
+        fleet = FleetCore()
+        core = build_core("mcf", "original")
+        fleet.add_lane(core, max_cycles=3_000)
+        fleet.run(budget=64)
+        assert_cores_identical(core, solo, "truncated mcf")
+
+    def test_ragged_retirement_with_backfill(self):
+        """Short and long lanes in one fleet, width < lanes: early
+        retirements admit queued lanes mid-run; every lane still
+        matches its solo reference."""
+        specs = [("gems", "none", 2_000), ("mcf", "original", 5_000_000),
+                 ("zeusmp", "none", 1_000), ("gems", "secure", 5_000_000),
+                 ("mcf", "none", 4_000)]
+        fleet = FleetCore(width=2)
+        cores = []
+        for workload, controller, limit in specs:
+            core = build_core(workload, controller)
+            fleet.add_lane(core, max_cycles=limit)
+            cores.append(core)
+        assert fleet.remaining == len(specs)
+        fleet.run(budget=113)
+        assert fleet.remaining == 0
+        for core, (workload, controller, limit) in zip(cores, specs):
+            solo = solo_reference(workload, controller, limit)
+            assert_cores_identical(core, solo,
+                                   f"{workload}/{controller}@{limit}")
+
+    @pytest.mark.slow
+    def test_randomized_fleet_property(self):
+        """Randomly-assembled fleets are lane-for-lane bit-identical to
+        serial Core.run (seeded, so failures reproduce)."""
+        rng = random.Random(0x5EC2)
+        for round_no in range(3):
+            specs = []
+            for _ in range(rng.randint(3, 6)):
+                specs.append((rng.choice(WORKLOADS),
+                              rng.choice(CONTROLLERS),
+                              rng.choice((5_000_000, 5_000_000,
+                                          rng.randint(500, 20_000)))))
+            width = rng.randint(1, len(specs))
+            budget = rng.choice((97, 1024, 4096))
+            fleet = FleetCore(width=width)
+            cores = []
+            for workload, controller, limit in specs:
+                core = build_core(workload, controller)
+                fleet.add_lane(core, max_cycles=limit)
+                cores.append(core)
+            fleet.run(budget=budget)
+            for core, (workload, controller, limit) in zip(cores, specs):
+                solo = solo_reference(workload, controller, limit)
+                assert_cores_identical(
+                    core, solo,
+                    f"round {round_no}: {workload}/{controller}@{limit} "
+                    f"width={width} budget={budget}")
+
+    def test_run_fleet_convenience(self):
+        core_a = build_core("gems", "none")
+        core_b = build_core("zeusmp", "none")
+        done = run_fleet([(core_a, 5_000_000), (core_b, 5_000_000)],
+                         width=2)
+        assert done == [core_a, core_b]
+        assert core_a.halted and core_b.halted
+
+
+class TestFleetRuns:
+    def test_dedup_computes_distinct_specs_once(self):
+        runs = FleetRuns(width=4)
+        key_a = runs.add("gems", "none", {}, "paper", None, 5_000_000)
+        key_b = runs.add("gems", "none", {}, "paper", None, 5_000_000)
+        key_c = runs.add("gems", "original", {}, "paper", None, 5_000_000)
+        assert key_a == key_b and key_a != key_c
+        assert len(runs) == 2
+        runs.execute()
+        _, _, core_a = runs.core(key_a)
+        _, _, core_b = runs.core(key_b)
+        assert core_a is core_b          # one computation, both served
+
+    def test_dedup_off_runs_every_lane(self):
+        runs = FleetRuns(width=4, dedup=False)
+        key_a = runs.add("gems", "none", {}, "paper", None, 5_000_000)
+        key_b = runs.add("gems", "none", {}, "paper", None, 5_000_000)
+        assert key_a != key_b
+        assert len(runs) == 2
+        runs.execute()
+        _, _, core_a = runs.core(key_a)
+        _, _, core_b = runs.core(key_b)
+        assert core_a is not core_b
+        assert dataclasses.asdict(core_a.stats) == \
+            dataclasses.asdict(core_b.stats)
+
+    def test_non_halting_spec_raises_like_workload_run(self):
+        runs = FleetRuns()
+        key = runs.add("mcf", "original", {}, "paper", None, 1_000)
+        runs.execute()
+        with pytest.raises(RuntimeError, match="mcf did not halt"):
+            runs.core(key)

@@ -1,0 +1,124 @@
+"""FleetExecutor: byte-identity with serial over real sweeps,
+cache/error semantics, and the ``executor="fleet"`` wiring."""
+
+import os
+
+import pytest
+
+from repro.batch.executor import FleetExecutor, fleet_trial_runner
+from repro.harness import presets
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (EXECUTORS, Executor, SerialExecutor,
+                                    make_executor, run_sweep)
+from repro.harness.runner import TrialError, run_trial
+from repro.harness.spec import Sweep, Trial
+
+
+def cheap_sweep(name="cheap-fleet") -> Sweep:
+    """Mixed fleetable + non-fleetable kinds on the small config."""
+    sweep = Sweep(name)
+    sweep.add("taint")
+    sweep.add("run", workload="reference", runahead="none",
+              config_base="small")
+    sweep.add("ipc", workload="reference", baseline="none",
+              contender="original", config_base="small")
+    sweep.add("run", workload="reference", runahead="none",
+              config_base="small")          # duplicate spec: deduped
+    sweep.add("window", runahead="none", sled=64, config_base="small")
+    return sweep
+
+
+class TestByteIdentity:
+    def test_cheap_sweep_identical_to_serial(self):
+        serial = SerialExecutor().execute(cheap_sweep(), cache=None)
+        fleet = FleetExecutor().execute(cheap_sweep(), cache=None)
+        assert serial.to_json() == fleet.to_json()
+
+    def test_fig7_quick_identical_to_serial(self):
+        sweep = presets.get("fig7").build(quick=True)
+        serial = SerialExecutor().execute(sweep, cache=None)
+        fleet = FleetExecutor().execute(
+            presets.get("fig7").build(quick=True), cache=None)
+        assert serial.to_json() == fleet.to_json()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", sorted(presets.PRESETS))
+    def test_every_quick_preset_identical_to_serial(self, name):
+        """The fleet-vs-serial differential over all quick-tier
+        presets — any divergence anywhere in the matrix fails here."""
+        serial = SerialExecutor().execute(
+            presets.get(name).build(quick=True), cache=None)
+        fleet = FleetExecutor().execute(
+            presets.get(name).build(quick=True), cache=None)
+        assert serial.to_json() == fleet.to_json()
+
+    def test_width_and_budget_do_not_change_bytes(self):
+        wide = FleetExecutor(width=None).execute(cheap_sweep(),
+                                                 cache=None)
+        narrow = FleetExecutor(width=1, budget=64).execute(
+            cheap_sweep(), cache=None)
+        assert wide.to_json() == narrow.to_json()
+
+
+class TestSemantics:
+    def test_cache_round_trip(self, tmp_path):
+        store = ResultCache(root=tmp_path, code_version="v1")
+        cold = FleetExecutor().execute(cheap_sweep(), cache=store)
+        assert cold.cache_misses == len(cold)
+        warm = FleetExecutor().execute(cheap_sweep(), cache=store)
+        assert warm.cache_hits == len(warm)
+        assert cold.to_json() == warm.to_json()
+
+    def test_fleet_reads_serial_cache_entries(self, tmp_path):
+        """Same trials, same cache keys: executors share the cache."""
+        store = ResultCache(root=tmp_path, code_version="v1")
+        SerialExecutor().execute(cheap_sweep(), cache=store)
+        warm = FleetExecutor().execute(cheap_sweep(), cache=store)
+        assert warm.cache_hits == len(warm)
+
+    def test_unknown_workload_raises_trial_error(self):
+        sweep = Sweep("bad")
+        sweep.add("ipc", workload="does-not-exist")
+        with pytest.raises(TrialError, match="does-not-exist"):
+            FleetExecutor().execute(sweep, cache=None)
+
+    def test_non_halting_trial_error_matches_serial(self):
+        sweep = Sweep("ceiling")
+        sweep.add("run", workload="reference", runahead="none",
+                  config_base="small", max_cycles=2)
+        with pytest.raises(TrialError) as fleet_err:
+            FleetExecutor().execute(sweep, cache=None)
+        with pytest.raises(TrialError) as serial_err:
+            SerialExecutor().execute(sweep, cache=None)
+        assert str(fleet_err.value) == str(serial_err.value)
+
+
+class TestWiring:
+    def test_fleet_is_a_registered_executor(self):
+        assert "fleet" in EXECUTORS
+        assert isinstance(make_executor("fleet"), Executor)
+        assert isinstance(make_executor("fleet"), FleetExecutor)
+
+    def test_make_executor_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("quantum")
+
+    def test_run_sweep_executor_param(self):
+        serial = run_sweep(cheap_sweep(), workers=1, cache=None)
+        fleet = run_sweep(cheap_sweep(), workers=1, cache=None,
+                          executor="fleet")
+        assert serial.to_json() == fleet.to_json()
+
+    def test_run_sweep_executor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "fleet")
+        result = run_sweep(cheap_sweep(), workers=1, cache=None)
+        baseline = SerialExecutor().execute(cheap_sweep(), cache=None)
+        assert result.to_json() == baseline.to_json()
+
+    def test_fleet_trial_runner_matches_run_trial(self):
+        ipc = Trial("ipc", {"workload": "reference", "baseline": "none",
+                            "contender": "original",
+                            "config_base": "small"})
+        assert fleet_trial_runner(ipc) == run_trial(ipc)
+        taint = Trial("taint", {})
+        assert fleet_trial_runner(taint) == run_trial(taint)

@@ -1,0 +1,84 @@
+"""``backend="fleet"`` lockstep driver == the object-walking loop."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.registry import get_workload, make_controller
+from repro.memory.hierarchy import PHYS_WINDOW_STRIDE, SharedHierarchy
+from repro.multicore.system import MultiCoreSystem
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+
+CONFIG = CoreConfig.small()
+
+
+def make_system(n_workloads, restart=False):
+    shared = SharedHierarchy(CONFIG.hierarchy, cores=0)
+    system = MultiCoreSystem(shared)
+    for index, name in enumerate(n_workloads):
+        workload = get_workload(name)
+        view = shared.add_core(phys_base=index * PHYS_WINDOW_STRIDE)
+
+        def factory(workload=workload, view=view):
+            program, image, sp = workload.materialize()
+            return Core(program, memory_image=image, config=CONFIG,
+                        runahead=make_controller("none"), initial_sp=sp,
+                        warm_icache=True, hierarchy=view)
+
+        system.add_core(factory, name=name,
+                        restart=restart and index > 0)
+    return system
+
+
+def assert_systems_identical(fleet, lockstep):
+    assert fleet.cycle == lockstep.cycle
+    for slot_f, slot_l in zip(fleet.slots, lockstep.slots):
+        assert slot_f.respawns == slot_l.respawns, slot_f.name
+        assert slot_f.core.halted == slot_l.core.halted, slot_f.name
+        assert dataclasses.asdict(slot_f.core.stats) == \
+            dataclasses.asdict(slot_l.core.stats), slot_f.name
+
+
+def test_pair_matches_lockstep_backend():
+    workloads = ["gems", "lbm"]
+    fleet_sys = make_system(workloads)
+    lock_sys = make_system(workloads)
+    fleet = fleet_sys.run(max_cycles=5_000_000, backend="fleet")
+    lock = lock_sys.run(max_cycles=5_000_000, backend="lockstep")
+    assert fleet.halted and lock.halted
+    assert_systems_identical(fleet_sys, lock_sys)
+
+
+def test_restart_corunner_matches_lockstep_backend():
+    """Respawning slots exercise the factory-refresh path of the
+    column-hoisted driver; counts and stats must match exactly."""
+    fleet_sys = make_system(["zeusmp", "reference"], restart=True)
+    lock_sys = make_system(["zeusmp", "reference"], restart=True)
+    fleet = fleet_sys.run(max_cycles=5_000_000, backend="fleet")
+    lock = lock_sys.run(max_cycles=5_000_000, backend="lockstep")
+    assert fleet.halted and lock.halted
+    assert fleet_sys.slots[1].respawns >= 1
+    assert_systems_identical(fleet_sys, lock_sys)
+
+
+def test_single_core_matches_plain_run():
+    solo = get_workload("gems").run(runahead=make_controller("none"),
+                                    config=CONFIG)
+    primary = make_system(["gems"]).run(max_cycles=5_000_000,
+                                        backend="fleet")
+    assert primary.halted
+    assert dataclasses.asdict(primary.stats) == \
+        dataclasses.asdict(solo.stats)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_system(["gems"]).run(backend="warp")
+
+
+def test_fleet_backend_validates_primary_restart():
+    system = make_system(["gems", "lbm"], restart=True)
+    system.slots[0].restart = True
+    with pytest.raises(ValueError, match="primary"):
+        system.run(backend="fleet")

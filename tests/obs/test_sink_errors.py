@@ -1,0 +1,61 @@
+"""FileSink lifecycle errors: flush-on-error, closed-sink misuse.
+
+Regression suite for the sink bugfix sweep — a sink abandoned by an
+exception used to drop its buffered tail (truncated ``.evt``), and a
+closed sink silently accepted further ``emit``/``close`` calls.
+"""
+
+import pytest
+
+from repro.obs import FileSink, load_events
+from repro.obs.events import EV_COMMIT, EV_DISPATCH
+
+
+def fill(sink, n, start=0):
+    for cycle in range(start, start + n):
+        sink.emit(cycle, EV_DISPATCH if cycle % 2 else EV_COMMIT,
+                  cycle, 0)
+
+
+class TestFlushOnError:
+    def test_exception_inside_with_block_still_seals_the_file(self,
+                                                              tmp_path):
+        path = tmp_path / "crash.evt"
+        with pytest.raises(RuntimeError, match="boom"):
+            with FileSink(path) as sink:
+                fill(sink, 100)          # < 8192: all still buffered
+                raise RuntimeError("boom")
+        events = load_events(path)       # loadable => flushed + sealed
+        assert len(events) == 100
+        assert events[0][0] == 0 and events[-1][0] == 99
+
+    def test_explicit_close_inside_with_block_is_fine(self, tmp_path):
+        path = tmp_path / "early.evt"
+        with FileSink(path) as sink:
+            fill(sink, 10)
+            sink.close()                 # __exit__ must not re-close
+        assert len(load_events(path)) == 10
+
+
+class TestClosedSinkMisuse:
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = FileSink(tmp_path / "t.evt")
+        fill(sink, 5)
+        sink.close()
+        assert sink.closed
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(6, EV_COMMIT, 6, 0)
+        # The sealed file is untouched by the failed emit.
+        assert len(load_events(tmp_path / "t.evt")) == 5
+
+    def test_double_close_raises(self, tmp_path):
+        sink = FileSink(tmp_path / "t.evt")
+        sink.close()
+        with pytest.raises(ValueError, match="already closed"):
+            sink.close()
+
+    def test_closed_property_tracks_lifecycle(self, tmp_path):
+        sink = FileSink(tmp_path / "t.evt")
+        assert not sink.closed
+        sink.close()
+        assert sink.closed

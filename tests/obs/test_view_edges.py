@@ -1,0 +1,95 @@
+"""``repro obs view`` edge cases: zero-event and single-cycle traces.
+
+Both used to be easy to hit (record with ``--max-cycles`` small enough
+that nothing retires, or trace a workload that halts in its first
+cycle) and must render a clean notice / a well-formed one-bin timeline
+rather than a traceback.
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import FileSink, load_events
+from repro.obs.events import EV_COMMIT, EV_DISPATCH, MAGIC
+from repro.obs.view import render_html, render_text, summarize_events
+
+
+@pytest.fixture
+def empty_trace(tmp_path):
+    path = tmp_path / "empty.evt"
+    FileSink(path).close()
+    return path
+
+
+@pytest.fixture
+def single_cycle_trace(tmp_path):
+    """Every event on one cycle: span is zero before clamping."""
+    path = tmp_path / "one.evt"
+    with FileSink(path) as sink:
+        sink.emit(5, EV_DISPATCH, 1, 0x10)
+        sink.emit(5, EV_DISPATCH, 2, 0x14)
+        sink.emit(5, EV_COMMIT, 1, 0x10)
+    return path
+
+
+class TestZeroEvents:
+    def test_summary_is_well_formed(self, empty_trace):
+        summary = summarize_events(load_events(empty_trace))
+        assert summary["events"] == 0
+        assert summary["first_cycle"] == summary["last_cycle"] == 0
+
+    def test_text_renders_notice(self, empty_trace):
+        text = render_text(summarize_events(load_events(empty_trace)))
+        assert "0 events" in text
+        assert "no events" in text
+        assert "repro obs record" in text
+
+    def test_html_renders_notice(self, empty_trace):
+        html = render_html(summarize_events(load_events(empty_trace)),
+                           title="empty.evt")
+        assert html.startswith("<!doctype html>")
+        assert "no events" in html
+        assert "<polyline" not in html
+
+    def test_cli_view_exits_zero(self, empty_trace, tmp_path, capsys):
+        out_html = tmp_path / "empty.html"
+        assert main(["obs", "view", str(empty_trace),
+                     "--html", str(out_html)]) == 0
+        assert "no events" in capsys.readouterr().out
+        assert "no events" in out_html.read_text(encoding="utf-8")
+
+
+class TestSingleCycle:
+    def test_summary_survives_zero_span(self, single_cycle_trace):
+        summary = summarize_events(load_events(single_cycle_trace))
+        assert summary["events"] == 3
+        assert summary["first_cycle"] == summary["last_cycle"] == 5
+        assert summary["max_occupancy"] == 2
+        assert sum(summary["occupancy_bins"]) > 0
+
+    def test_bins_clamped_to_at_least_one(self, single_cycle_trace):
+        summary = summarize_events(load_events(single_cycle_trace),
+                                   bins=0)
+        assert summary["bins"] == 1
+        assert len(summary["occupancy_bins"]) == 1
+
+    def test_cli_view_renders_timeline(self, single_cycle_trace,
+                                       capsys):
+        assert main(["obs", "view", str(single_cycle_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "3 events" in out
+        assert "cycles 5..5" in out
+
+    def test_html_still_draws(self, single_cycle_trace):
+        html = render_html(
+            summarize_events(load_events(single_cycle_trace)))
+        assert "<polyline" in html
+
+
+def test_bare_magic_file_counts_as_empty(tmp_path):
+    """A file holding only the magic header is a legal empty trace."""
+    path = tmp_path / "bare.evt"
+    path.write_bytes(MAGIC)
+    assert load_events(path) == []
+    assert "no events" in render_text(
+        summarize_events(load_events(path)))

@@ -39,6 +39,9 @@ def test_checker_covers_every_doc_file():
     ("pass `receiver=quantum-probe`", "unknown receiver"),
     ("pass `runahead=vectr`", "unknown controller"),
     ("pass `contender=secrue`", "unknown controller"),
+    ("pass `--executor warp` — sorry, `executor=warp`",
+     "unknown executor"),
+    ('set `executor="hyperspace"` in Python', "unknown executor"),
     ("run `python -m repro campaign pause`", "unknown subcommand"),
     ("run `python -m repro trace replay`", "unknown subcommand"),
 ])
@@ -55,7 +58,8 @@ def test_checker_accepts_resolvable_references(tmp_path):
     good.write_text(
         "# Doc\n\nUse `repro.harness.run_sweep` via "
         "`python -m repro sweep fig9 --workers 2` or "
-        "`python -m repro run ipc workload=trace-mcf` and files via "
+        "`python -m repro run ipc workload=trace-mcf` with "
+        "`--executor fleet` (or `executor=fleet`), files via "
         "`corunner=trace:saved.trace`, then "
         "`python -m repro campaign status campaigns/fig7`.\n",
         encoding="utf-8")

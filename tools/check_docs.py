@@ -57,6 +57,9 @@ _GROUP_SUB = re.compile(
 _KEYED_NAME = re.compile(
     r"\b(workload|receiver|corunner|runahead|contender|baseline)"
     r"=([A-Za-z0-9_.:\-]+)")
+#: ``executor=fleet`` (CLI) and ``executor="fleet"`` (Python) forms
+#: both resolve against the harness executor registry.
+_EXECUTOR_NAME = re.compile(r"\bexecutor=\"?([a-z][a-z0-9\-]*)\"?")
 
 
 def _code_spans(text: str) -> str:
@@ -123,6 +126,7 @@ def _resolve_symbol(symbol: str) -> bool:
 
 def check_file(path: pathlib.Path) -> List[str]:
     from repro.harness import presets
+    from repro.harness.executor import EXECUTORS
     from repro.harness.registry import CONTROLLERS, get_workload
     from repro.harness.spec import TRIAL_KINDS
     from repro.channel.receiver import RECEIVERS
@@ -148,6 +152,10 @@ def check_file(path: pathlib.Path) -> List[str]:
         if kind not in TRIAL_KINDS:
             problems.append(f"{path.name}: unknown trial kind "
                             f"`repro run {kind}`")
+    for name in sorted(set(_EXECUTOR_NAME.findall(code))):
+        if name not in EXECUTORS:
+            problems.append(f"{path.name}: unknown executor "
+                            f"`executor={name}`")
     for group, sub in sorted(set(_GROUP_SUB.findall(code))):
         if sub not in _known_subcommands(group):
             problems.append(f"{path.name}: unknown subcommand "
