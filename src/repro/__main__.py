@@ -8,7 +8,18 @@ Subcommands
     writes the canonical JSON, ``--list`` enumerates presets.
 ``repro run <kind> [key=value ...]``
     Execute one ad-hoc trial (``attack``, ``ipc``, ``window``, ``run``,
-    ``taint``, ``extract``) and print its result record as JSON.
+    ``taint``, ``extract``, ``verify``) and print its result record as
+    JSON.
+``repro verify <target>``
+    Static speculative-leak check of a gadget program
+    (:mod:`repro.verify`): explore its speculation and runahead windows
+    under a defense model (``--defense``) and report every
+    secret-tainted load address.  ``--windows`` narrows the exploration,
+    ``--spec-depth``/``--runahead-len`` bound the windows,
+    ``--cross-check`` also runs the target on the cycle simulator and
+    holds the differential contract, ``--list`` enumerates registered
+    targets (``gen:<family>:<seed>`` names are generated on the fly).
+    Exit status: 0 clean, 1 leak reports, 2 cross-check disagreement.
 ``repro attack``
     End-to-end covert-channel secret extraction: pick a receiver
     strategy, noise intensity and trial count, and read a multi-byte
@@ -284,6 +295,89 @@ def _cmd_attack(args) -> int:
               f"--min-success {args.min_success}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from .analysis.report import format_table
+    from .harness.runner import resolve_verify_target
+
+    if args.list or not args.target:
+        from .verify.targets import target_names
+        rows = []
+        for name in target_names():
+            case = resolve_verify_target(name)
+            rows.append((name, "leaks" if case.expect_leak else "safe",
+                         case.notes))
+        print(format_table(["target", "expected", "notes"], rows))
+        print("\ngenerated gadgets: gen:<family>:<seed> "
+              "(families: spec, stale, straight)")
+        return 0
+
+    params: Dict[str, Any] = {"target": args.target,
+                              "defense": args.defense}
+    if args.windows != "both":
+        params["windows"] = [args.windows]
+    if args.spec_depth is not None:
+        params["spec_depth"] = args.spec_depth
+    if args.runahead_len is not None:
+        params["runahead_len"] = args.runahead_len
+    if args.cross_check:
+        params["cross_check"] = True
+    trial = Trial(kind="verify", params=params)
+    cache = resolve_cache(_cache_arg(args))
+    result: Optional[Dict[str, Any]] = None
+    if cache is not None and not args.force:
+        result = cache.get(trial)
+    cached = result is not None
+    if result is None:
+        from .harness.runner import run_trial
+        result = run_trial(trial)
+        if cache is not None:
+            cache.put(trial, result)
+
+    disagreement = args.cross_check and not result["ok"]
+    if args.json:
+        print(json.dumps({"trial": trial.to_dict(), "cached": cached,
+                          "result": result}, sort_keys=True, indent=2))
+    else:
+        print(f"== speculative-leak verifier "
+              f"[{result['target']} / {result['defense']}] ==")
+        print(f"windows       : {', '.join(result['windows'])}")
+        print(f"exploration   : {result['arch_steps']} arch steps, "
+              f"{result['window_steps']} window steps, "
+              f"{result['spec_forks']} spec + "
+              f"{result['runahead_forks']} runahead forks"
+              + (" [cached]" if cached else ""))
+        if result["suppressed"]:
+            print(f"suppressed    : {result['suppressed']} report(s) "
+                  f"killed by the defense model")
+        for report in result["reports"]:
+            print(f"\nLEAK  pc={report['pc']}  "
+                  f"window={report['window']}  "
+                  f"taint={','.join(report['taint'])}")
+            print(f"      entered via fork at pc={report['fork_pc']} "
+                  f"(+{report['depth']} instructions)")
+            print(f"      taint chain: "
+                  f"{' -> '.join(str(pc) for pc in report['chain'])}")
+        print()
+        if result["clean"]:
+            print("verdict       : clean — no secret-tainted load "
+                  "address in any explored window")
+        else:
+            print(f"verdict       : {result['n_reports']} leak "
+                  f"report(s)")
+        if args.cross_check:
+            cell = result["cross_check"]
+            print(f"cross-check   : simulator "
+                  f"{'extracted the secret' if cell['leaked'] else 'extracted nothing'} "
+                  f"({cell['oracle']} oracle: {cell['detail']})")
+            print("agreement     : "
+                  + ("checker and simulator agree" if result["ok"] else
+                     "DISAGREEMENT:\n" + "\n".join(
+                         f"  - {d}" for d in result["disagreements"])))
+    if disagreement:
+        return 2
+    return 0 if result["clean"] else 1
 
 
 def _cmd_trace_record(args) -> int:
@@ -580,7 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one ad-hoc trial")
     p_run.add_argument("kind",
                        choices=("attack", "ipc", "window", "run", "taint",
-                                "extract"))
+                                "extract", "verify"))
     p_run.add_argument("params", nargs="*", metavar="key=value",
                        help="trial params, dots nest "
                             "(config.rob_size=64)")
@@ -644,6 +738,37 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the raw trial record as JSON")
     add_common(p_attack)
     p_attack.set_defaults(func=_cmd_attack)
+
+    from .verify.engine import DEFENSES as verify_defenses
+    p_verify = sub.add_parser(
+        "verify",
+        help="static speculative-leak check of a gadget program")
+    p_verify.add_argument("target", nargs="?",
+                          help="registered target name or "
+                               "gen:<family>:<seed> (omit with --list)")
+    p_verify.add_argument("--list", action="store_true",
+                          help="list registered verify targets")
+    p_verify.add_argument("--defense", default="original",
+                          choices=verify_defenses,
+                          help="defense model to check under "
+                               "(default: original)")
+    p_verify.add_argument("--windows", default="both",
+                          choices=("both", "speculation", "runahead"),
+                          help="window kinds to explore (default: both)")
+    p_verify.add_argument("--spec-depth", type=int, default=None,
+                          help="speculation-window instruction budget "
+                               "(default 256)")
+    p_verify.add_argument("--runahead-len", type=int, default=None,
+                          help="runahead-window instruction budget "
+                               "(default 512)")
+    p_verify.add_argument("--cross-check", action="store_true",
+                          help="also run the target on the cycle "
+                               "simulator and hold the differential "
+                               "contract (exit 2 on disagreement)")
+    p_verify.add_argument("--json", action="store_true",
+                          help="print the raw trial record as JSON")
+    add_common(p_verify)
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_trace = sub.add_parser(
         "trace", help="record / inspect trace-driven workloads")

@@ -757,6 +757,79 @@ def _render_ablations(result: SweepResult) -> str:
     return "\n".join(text)
 
 
+# ----------------------------------------------------- verify_cross_check
+
+VERIFY_DEFENSES = ("original", "no-runahead", "secure", "branch-skip")
+VERIFY_DEFENSES_QUICK = ("original", "branch-skip")
+VERIFY_GEN_FAMILIES = ("spec", "stale", "straight")
+VERIFY_GEN_SEEDS = 200
+VERIFY_GEN_SEEDS_QUICK = 12
+
+
+def _build_verify_cross_check(quick: bool = False) -> Sweep:
+    from ..verify.targets import target_names
+    defenses = VERIFY_DEFENSES_QUICK if quick else VERIFY_DEFENSES
+    n_seeds = VERIFY_GEN_SEEDS_QUICK if quick else VERIFY_GEN_SEEDS
+    sweep = Sweep("verify_cross_check",
+                  description="differential gate: static checker verdicts "
+                              "vs simulator ground truth")
+    for name in target_names():
+        for defense in defenses:
+            sweep.add("verify", target=name, defense=defense,
+                      cross_check=True)
+    # Seeded random gadgets: families cycle so any seed count covers all
+    # three.  Seeds are plain 0..N-1 — the generator is deterministic,
+    # so the sweep stays byte-identical at any worker count.
+    for seed in range(n_seeds):
+        family = VERIFY_GEN_FAMILIES[seed % len(VERIFY_GEN_FAMILIES)]
+        for defense in defenses:
+            sweep.add("verify", target=f"gen:{family}:{seed}",
+                      defense=defense, cross_check=True)
+    return sweep
+
+
+def _render_verify_cross_check(result: SweepResult) -> str:
+    records = result.select("verify")
+    named, gen = [], []
+    for record in records:
+        (gen if record["result"]["target"].startswith("gen:")
+         else named).append(record["result"])
+    rows = []
+    for res in named:
+        windows = ",".join(sorted({r["window"] for r in res["reports"]}))
+        verdict = f"flag({windows})" if not res["clean"] else "clean"
+        cell = res["cross_check"]
+        rows.append((res["target"], res["defense"], verdict,
+                     "leak" if cell["leaked"] else "quiet",
+                     cell["oracle"], "ok" if res["ok"] else "DISAGREE"))
+    table = format_table(
+        ["target", "defense", "checker", "simulator", "oracle", "cell"],
+        rows)
+    fam_rows = []
+    for family in VERIFY_GEN_FAMILIES:
+        cells = [res for res in gen
+                 if res["target"].split(":")[1] == family]
+        programs = len({res["target"] for res in cells})
+        flagged = sum(1 for res in cells if not res["clean"])
+        agreed = sum(1 for res in cells if res["ok"])
+        fam_rows.append((family, programs, len(cells), flagged,
+                         f"{agreed}/{len(cells)}"))
+    gen_table = format_table(
+        ["family", "programs", "cells", "flagged", "agreed"], fam_rows)
+    disagreements = [line for res in named + gen
+                     for line in res.get("disagreements", [])]
+    n_cells = len(named) + len(gen)
+    verdict = (f"CROSS-CHECK OK: {n_cells} cells, checker and simulator "
+               "agree everywhere." if not disagreements else
+               f"CROSS-CHECK FAILED: {len(disagreements)} disagreement(s)"
+               ":\n" + "\n".join(f"  - {d}" for d in disagreements))
+    return (f"registered attack workloads:\n{table}\n\n"
+            f"seeded random gadgets:\n{gen_table}\n\n"
+            "contract: flagged under 'original' => the simulator extracts "
+            "the secret;\nclean under a defense => that controller "
+            f"extracts nothing.\n\n{verdict}")
+
+
 PRESETS: Dict[str, Preset] = {
     p.name: p for p in [
         Preset("table1", "Table 1: processor configuration",
@@ -800,6 +873,9 @@ PRESETS: Dict[str, Preset] = {
                _build_sec6, _render_sec6),
         Preset("ablations", "design-parameter ablation sweeps",
                _build_ablations, _render_ablations),
+        Preset("verify_cross_check",
+               "differential gate: leak checker vs cycle simulator",
+               _build_verify_cross_check, _render_verify_cross_check),
     ]
 }
 

@@ -41,6 +41,16 @@ registry also resolves the synthetic trace suite (``trace-mcf``,
     ``config_base``/``config``, ``max_cycles``.
 ``taint``
     no parameters — the Fig. 12 worked example.
+``verify``
+    ``target`` (required: a :mod:`repro.verify.targets` name or
+    ``gen:<family>:<seed>``), ``defense`` (default "original"),
+    ``windows``, ``spec_depth``/``runahead_len``/``max_window_forks``/
+    ``max_arch_steps``, ``shard`` (``[k, n]``: explore only window
+    forks with ``index % n == k`` — merge shards with
+    :func:`repro.verify.merge_reports`), ``cross_check`` (bool: also
+    run the target on the cycle simulator and hold the
+    :mod:`repro.verify.crosscheck` contract), ``max_cycles`` (the
+    cross-check simulation budget).
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ from ..attack.window import measure_window
 from ..channel.extract import extract_secret
 from ..defense.taint_demo import run_fig12
 from .registry import get_workload, make_config, make_controller
-from .spec import Trial
+from .spec import TRIAL_KINDS, Trial
 
 
 class TrialError(RuntimeError):
@@ -204,6 +214,73 @@ def _run_workload(trial: Trial) -> Dict[str, Any]:
     return workload_record(workload, controller, core)
 
 
+def resolve_verify_target(name: str):
+    """Resolve a verify target name (registry or ``gen:...``) to a case."""
+    from ..verify.targets import build_target
+    if name.startswith("gen:"):
+        from ..verify.gen import gen_target
+        return gen_target(name)
+    return build_target(name)
+
+
+def verify_record(case, result, shard=None) -> Dict[str, Any]:
+    """The deterministic ``verify`` payload (shared-record pattern)."""
+    record = {
+        "target": case.name,
+        "defense": result.defense,
+        "windows": list(result.windows),
+        "clean": result.clean,
+        "n_reports": len(result.reports),
+        "reports": [r.to_dict() for r in result.reports],
+        "arch_steps": result.arch_steps,
+        "window_steps": result.window_steps,
+        "spec_forks": result.spec_forks,
+        "runahead_forks": result.runahead_forks,
+        "suppressed": result.suppressed,
+    }
+    if shard is not None:
+        record["shard"] = list(shard)
+    return record
+
+
+def _run_verify(trial: Trial) -> Dict[str, Any]:
+    from ..verify import VerifyOptions, check_program
+    from ..verify.report import WINDOWS
+
+    params = trial.params
+    case = resolve_verify_target(params["target"])
+    defense = params.get("defense", "original")
+    options = VerifyOptions()
+    for key in ("spec_depth", "runahead_len", "max_arch_steps",
+                "max_window_forks"):
+        if key in params:
+            setattr(options, key, params[key])
+    shard = params.get("shard")
+    fork_filter = None
+    if shard is not None:
+        index, count = shard
+        if params.get("cross_check"):
+            raise TrialError("verify trial cannot combine shard with "
+                             "cross_check: the contract needs the full "
+                             "report set")
+        fork_filter = lambda fork: fork % count == index
+    result = check_program(
+        case.program, case.image, secret_addrs=case.secret_addrs,
+        initial_sp=case.initial_sp, defense=defense,
+        windows=params.get("windows", list(WINDOWS)),
+        options=options, fork_filter=fork_filter)
+    record = verify_record(case, result, shard=shard)
+    if params.get("cross_check"):
+        from ..verify.crosscheck import cross_check_case
+        cross = cross_check_case(
+            case, defenses=(defense,), options=options,
+            max_cycles=params.get("max_cycles", 3_000_000))
+        record["cross_check"] = cross.cells[0].to_dict()
+        record["ok"] = cross.ok
+        record["disagreements"] = list(cross.disagreements)
+    return record
+
+
 def _run_taint(trial: Trial) -> Dict[str, Any]:
     rows = [list(row) for row in run_fig12()]
     mismatches = [label for label, want_btag, got_btag, want_is, got_is
@@ -220,6 +297,7 @@ _RUNNERS = {
     "run": _run_workload,
     "taint": _run_taint,
     "extract": _run_extract,
+    "verify": _run_verify,
 }
 
 
@@ -228,8 +306,11 @@ def run_trial(trial: Trial) -> Dict[str, Any]:
     try:
         runner = _RUNNERS[trial.kind]
     except KeyError:
-        raise TrialError(f"no runner for trial kind {trial.kind!r}") \
-            from None
+        # Same wording and kind order as Trial.__post_init__ — a test
+        # pins the two lists against each other and against _RUNNERS.
+        raise TrialError(
+            f"no runner for trial kind {trial.kind!r}; expected one of "
+            f"{TRIAL_KINDS}") from None
     try:
         return runner(trial)
     except TrialError:

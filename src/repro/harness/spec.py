@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 #: Trial kinds understood by :mod:`repro.harness.runner`.
-TRIAL_KINDS = ("attack", "ipc", "window", "run", "taint", "extract")
+TRIAL_KINDS = ("attack", "ipc", "window", "run", "taint", "extract",
+               "verify")
 
 
 def canonical_json(value: Any) -> str:
@@ -73,7 +74,8 @@ class Trial:
 
     def _default_label(self) -> str:
         bits = [self.kind]
-        for key in ("workload", "variant", "runahead", "contender"):
+        for key in ("workload", "variant", "target", "defense", "runahead",
+                    "contender"):
             value = self.params.get(key)
             if value is not None:
                 bits.append(str(value))

@@ -42,6 +42,9 @@ class InterpreterResult:
     halted: bool
     pc: int
     trace: List[int] = field(default_factory=list)
+    #: Data addresses touched, in order (loads, stores, call/ret stack
+    #: traffic) — only populated when run with ``record_accesses=True``.
+    accesses: List[int] = field(default_factory=list)
 
     def reg(self, index):
         return self.registers[index]
@@ -72,7 +75,8 @@ def _as_float(value):
 class Interpreter:
     """Stepwise functional executor; use :func:`run_program` for one-shots."""
 
-    def __init__(self, program: Program, memory_image=None, initial_sp=None):
+    def __init__(self, program: Program, memory_image=None, initial_sp=None,
+                 record_accesses=False):
         self.program = program
         self.registers = make_register_file()
         self.memory: Dict[int, object] = {}
@@ -83,6 +87,10 @@ class Interpreter:
         self.pc = 0
         self.steps = 0
         self.halted = False
+        #: Ordered data addresses, or None when recording is off — the
+        #: footprint oracle in repro.verify.crosscheck diffs these
+        #: against the simulator's cache state to spot transient fills.
+        self.accesses: List[int] = [] if record_accesses else None
 
     # -- register access ------------------------------------------------------
 
@@ -133,6 +141,7 @@ class Interpreter:
             steps=self.steps,
             halted=self.halted,
             pc=self.pc,
+            accesses=self.accesses if self.accesses is not None else [],
         )
 
 
@@ -152,18 +161,24 @@ def _op_rdtsc(interp, instr):
 
 def _op_load(interp, instr):
     addr = to_unsigned64(interp.read_reg(instr.srcs[0]) + instr.imm)
+    if interp.accesses is not None:
+        interp.accesses.append(addr)
     interp.write_reg(instr.dest, _as_int(_read_word(interp.memory, addr)))
     return interp.pc + INSTR_BYTES
 
 
 def _op_fload(interp, instr):
     addr = to_unsigned64(interp.read_reg(instr.srcs[0]) + instr.imm)
+    if interp.accesses is not None:
+        interp.accesses.append(addr)
     interp.write_reg(instr.dest, _as_float(_read_word(interp.memory, addr)))
     return interp.pc + INSTR_BYTES
 
 
 def _op_vload(interp, instr):
     addr = to_unsigned64(interp.read_reg(instr.srcs[0]) + instr.imm)
+    if interp.accesses is not None:
+        interp.accesses.extend((addr, addr + WORD_BYTES))
     lane0 = _as_int(_read_word(interp.memory, addr))
     lane1 = _as_int(_read_word(interp.memory, addr + WORD_BYTES))
     interp.write_reg(instr.dest, (lane0, lane1))
@@ -173,6 +188,8 @@ def _op_vload(interp, instr):
 def _op_store(interp, instr):
     value = interp.read_reg(instr.srcs[0])
     addr = to_unsigned64(interp.read_reg(instr.srcs[1]) + instr.imm)
+    if interp.accesses is not None:
+        interp.accesses.append(addr)
     _write_word(interp.memory, addr, _as_int(value))
     return interp.pc + INSTR_BYTES
 
@@ -180,6 +197,8 @@ def _op_store(interp, instr):
 def _op_fstore(interp, instr):
     value = interp.read_reg(instr.srcs[0])
     addr = to_unsigned64(interp.read_reg(instr.srcs[1]) + instr.imm)
+    if interp.accesses is not None:
+        interp.accesses.append(addr)
     _write_word(interp.memory, addr, _as_float(value))
     return interp.pc + INSTR_BYTES
 
@@ -187,6 +206,8 @@ def _op_fstore(interp, instr):
 def _op_vstore(interp, instr):
     lanes = interp.read_reg(instr.srcs[0])
     addr = to_unsigned64(interp.read_reg(instr.srcs[1]) + instr.imm)
+    if interp.accesses is not None:
+        interp.accesses.extend((addr, addr + WORD_BYTES))
     _write_word(interp.memory, addr, _as_int(lanes[0]))
     _write_word(interp.memory, addr + WORD_BYTES, _as_int(lanes[1]))
     return interp.pc + INSTR_BYTES
@@ -277,6 +298,8 @@ def _op_jr(interp, instr):
 
 def _op_call(interp, instr):
     sp = to_unsigned64(_as_int(interp.read_reg(REG_SP)) - WORD_BYTES)
+    if interp.accesses is not None:
+        interp.accesses.append(sp)
     _write_word(interp.memory, sp, interp.pc + INSTR_BYTES)
     interp.write_reg(REG_SP, sp)
     return instr.target
@@ -284,6 +307,8 @@ def _op_call(interp, instr):
 
 def _op_ret(interp, instr):
     sp = _as_int(interp.read_reg(REG_SP))
+    if interp.accesses is not None:
+        interp.accesses.append(sp)
     next_pc = _as_int(_read_word(interp.memory, sp))
     interp.write_reg(REG_SP, to_unsigned64(sp + WORD_BYTES))
     return next_pc
@@ -331,8 +356,9 @@ _HANDLERS[Opcode.RET] = _op_ret
 
 
 def run_program(program, memory_image=None, initial_sp=None,
-                max_steps=1_000_000):
+                max_steps=1_000_000, record_accesses=False):
     """Interpret a program and return its architectural end state."""
     interp = Interpreter(program, memory_image=memory_image,
-                         initial_sp=initial_sp)
+                         initial_sp=initial_sp,
+                         record_accesses=record_accesses)
     return interp.run(max_steps=max_steps)

@@ -1,0 +1,302 @@
+"""Seeded random gadget generator for the differential cross-check.
+
+Hand-written targets (:mod:`repro.verify.targets`) pin the known attack
+shapes; this module generates *families* of variations around them so
+the checker and the simulator are compared on programs neither was
+tuned for.  Everything is deterministic from an integer seed, and every
+drawn parameter can be overridden by keyword — which is what the
+property test's shrinker uses: on a disagreement it re-draws the same
+seed with parameters forced toward the benign values until the
+disagreement disappears, and reports the last failing (minimal)
+program.
+
+Families
+--------
+``spec``
+    A pht-shaped victim behind a trained bounds check on a flushed
+    size word.  Drawn knobs: nop padding between check and gadget
+    (0 / in-ROB / beyond-ROB), whether the victim architecturally warms
+    the secret line, whether the final call passes the out-of-bounds
+    index, and extra taint-propagation hops in the disclosure chain.
+    Leaks on the undefended machine iff the secret line is warm *and*
+    the trigger index is malicious.
+``stale``
+    The straight-line stale-store shape: an INV-data store is dropped
+    by runahead so a later load sees the stale planted pointer.  Drawn
+    knobs: whether the plant is the secret's address or a benign one,
+    and extra chain hops.  Leaks iff the plant is the secret.
+``straight``
+    Straight-line loads/stores/ALU over scratch data with a flushed
+    trigger load thrown in — runahead windows open, but no secret is
+    ever read.  Never leaks; guards against phantom flags.
+
+All generated programs are **probe-free** (no in-program probe loop):
+the cross-check judges them with the footprint oracle, so the generator
+guarantees the architectural path never touches the secret's probe
+entry (transmitted benign values are drawn ``!= secret_value``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..attack.gadgets import DEFAULT_STRIDE, PROBE_ENTRIES, TRAIN_INDEX
+from ..isa.assembler import assemble
+from ..isa.memory_image import MemoryImage
+from .targets import GadgetCase
+
+FAMILIES = ("spec", "stale", "straight")
+
+_ARRAY1_WORDS = 16
+_TRAIN_ITERS = 96
+_DELAY_ITERS = 900
+_SETTLE_NOPS = 1500
+
+#: Padding choices for the ``spec`` family: none, well inside the ROB,
+#: and beyond it (the Fig. 11 regime — runahead-only reach).
+_PADDINGS = (0, 40, 300)
+
+
+def _hops(reg: str, count: int, rng: random.Random) -> str:
+    """Value-preserving taint-propagation hops through ``reg``."""
+    ops = []
+    for _ in range(count):
+        ops.append(rng.choice((f"addi {reg}, {reg}, 0",
+                               f"ori  {reg}, {reg}, 0",
+                               f"xori {reg}, {reg}, 0")))
+    return "\n        ".join(ops) if ops else "nop"
+
+
+def _draw(params: Dict, key: str, rng: random.Random, choices):
+    """Drawn-unless-overridden parameter (the shrinker's hook)."""
+    if params.get(key) is None:
+        params[key] = rng.choice(choices)
+    return params[key]
+
+
+def generate_case(seed: int, family: Optional[str] = None,
+                  **overrides) -> GadgetCase:
+    """Build one generated gadget, deterministically from ``seed``.
+
+    ``overrides`` force drawn parameters (see each family builder); the
+    shrinker uses them to minimize failing cases.
+    """
+    rng = random.Random(seed)
+    if family is None:
+        family = rng.choice(FAMILIES)
+    if family == "spec":
+        return _gen_spec(seed, rng, overrides)
+    if family == "stale":
+        return _gen_stale(seed, rng, overrides)
+    if family == "straight":
+        return _gen_straight(seed, rng, overrides)
+    raise KeyError(f"unknown generator family {family!r}; expected one "
+                   f"of {', '.join(FAMILIES)}")
+
+
+def gen_target(name: str) -> GadgetCase:
+    """Resolve a ``gen:<family>:<seed>`` target name."""
+    parts = name.split(":")
+    if len(parts) != 3 or parts[0] != "gen":
+        raise KeyError(f"bad generated-target name {name!r}; expected "
+                       f"gen:<family>:<seed>")
+    return generate_case(int(parts[2]), family=parts[1])
+
+
+def _base_image(rng: random.Random):
+    """Shared layout: array1, secret, probe array, trigger, stack."""
+    image = MemoryImage()
+    array1 = image.alloc_array("array1", _ARRAY1_WORDS)
+    secret_value = rng.randrange(1, PROBE_ENTRIES)
+    # Benign values the architectural path may transmit must differ
+    # from the secret, or the footprint oracle goes blind.
+    values = [rng.choice([v for v in range(PROBE_ENTRIES)
+                          if v != secret_value])
+              for _ in range(_ARRAY1_WORDS)]
+    image.write_words(array1, values)
+    secret = image.alloc("secret_word", 8, align=64)
+    image.write_word(secret, secret_value)
+    array2 = image.alloc("array2", PROBE_ENTRIES * DEFAULT_STRIDE)
+    trigger = image.alloc_array("trigger_d", 2)
+    image.write_word(trigger, _ARRAY1_WORDS)
+    sp = image.alloc_stack(64)
+    return image, array1, secret, secret_value, array2, sp
+
+
+def _gen_spec(seed: int, rng: random.Random, params: Dict) -> GadgetCase:
+    padding = _draw(params, "padding", rng, _PADDINGS)
+    touch_secret = _draw(params, "touch_secret", rng, (True, True, False))
+    malicious = _draw(params, "malicious", rng, (True, True, False))
+    hops = _draw(params, "hops", rng, (0, 1, 2, 3))
+
+    image, array1, secret, secret_value, array2, sp = _base_image(rng)
+    malicious_index = (secret - array1) // 8
+    attack_index = malicious_index if malicious else TRAIN_INDEX
+    touch = """
+        li   r4, @secret_word
+        load r15, r4, 0
+        fence
+    """ if touch_secret else ""
+    pad = f"        .repeat {padding}, nop\n" if padding else ""
+
+    source = f"""
+        jmp  main
+    victim:
+        li   r21, @trigger_d
+        load r21, r21, 0         # size = f(D): the stalling load
+        bge  r20, r21, victim_end
+{pad}        slli r22, r20, 3
+        add  r22, r22, r26
+        load r23, r22, 0         # array1[x] — the secret access
+        {_hops("r23", hops, rng)}
+        muli r24, r23, {DEFAULT_STRIDE}
+        add  r24, r24, r27
+        load r25, r24, 0         # transmit
+    victim_end:
+        ret
+    main:
+        li   r26, @array1
+        li   r27, @array2
+        {touch}
+        li   r1, {_TRAIN_ITERS}
+    train:
+        li   r20, {TRAIN_INDEX}
+        call victim
+        addi r1, r1, -1
+        bne  r1, r0, train
+        li   r9, @trigger_d
+        clflush r9, 0
+        fence
+        li   r20, {attack_index}
+        call victim
+        li   r1, {_DELAY_ITERS}
+    delay_loop:
+        addi r1, r1, -1
+        bne  r1, r0, delay_loop
+        halt
+    """
+    program = assemble(source, memory_image=image)
+    return GadgetCase(
+        name=f"gen:spec:{seed}", program=program, image=image,
+        initial_sp=sp, secret_addrs=(secret,), secret_value=secret_value,
+        probe_base=array2, probe_stride=DEFAULT_STRIDE,
+        probe_entries=PROBE_ENTRIES, probe_free=True,
+        expect_leak=bool(touch_secret and malicious),
+        notes=f"padding={padding} touch_secret={touch_secret} "
+              f"malicious={malicious} hops={hops}")
+
+
+def _gen_stale(seed: int, rng: random.Random, params: Dict) -> GadgetCase:
+    plant_secret = _draw(params, "plant_secret", rng, (True, True, False))
+    hops = _draw(params, "hops", rng, (0, 1, 2, 3))
+
+    image = MemoryImage()
+    secret = image.alloc("secret_word", 8, align=64)
+    secret_value = rng.randrange(1, PROBE_ENTRIES)
+    image.write_word(secret, secret_value)
+    safe = image.alloc("safe_word", 8, align=64)
+    safe_value = rng.choice([v for v in range(PROBE_ENTRIES)
+                             if v != secret_value])
+    image.write_word(safe, safe_value)
+    ptr_slot = image.alloc("ptr_slot", 8, align=64)
+    array2 = image.alloc("array2", PROBE_ENTRIES * DEFAULT_STRIDE)
+    trigger = image.alloc_array("trigger_d", 2)
+    image.write_word(trigger, 1)
+    sp = image.alloc_stack(64)
+    plant = "@secret_word" if plant_secret else "@safe_word"
+
+    source = f"""
+        li   r27, @array2
+        li   r4, @secret_word
+        load r15, r4, 0
+        li   r5, @safe_word
+        load r16, r5, 0
+        li   r6, @ptr_slot
+        load r8, r6, 0
+        fence
+        .repeat {_SETTLE_NOPS}, nop
+        li   r7, {plant}
+        store r7, r6, 0
+        fence
+        li   r9, @trigger_d
+        clflush r9, 0
+        fence
+        load r21, r9, 0          # stalling load -> INV in runahead
+        andi r22, r21, 0
+        li   r23, @safe_word
+        add  r24, r23, r22
+        store r24, r6, 0         # INV data in runahead: dropped
+        load r25, r6, 0          # stale plant inside runahead
+        load r26, r25, 0
+        {_hops("r26", hops, rng)}
+        muli r28, r26, {DEFAULT_STRIDE}
+        add  r28, r28, r27
+        load r29, r28, 0         # transmit
+        fence
+        li   r1, {_DELAY_ITERS}
+    delay:
+        addi r1, r1, -1
+        bne  r1, r0, delay
+        halt
+    """
+    program = assemble(source, memory_image=image)
+    return GadgetCase(
+        name=f"gen:stale:{seed}", program=program, image=image,
+        initial_sp=sp, secret_addrs=(secret,), secret_value=secret_value,
+        probe_base=array2, probe_stride=DEFAULT_STRIDE,
+        probe_entries=PROBE_ENTRIES, probe_free=True,
+        expect_leak=bool(plant_secret),
+        notes=f"plant_secret={plant_secret} hops={hops}")
+
+
+def _gen_straight(seed: int, rng: random.Random, params: Dict) -> GadgetCase:
+    ops = _draw(params, "ops", rng, (2, 4, 6))
+
+    image = MemoryImage()
+    secret = image.alloc("secret_word", 8, align=64)
+    secret_value = rng.randrange(1, PROBE_ENTRIES)
+    image.write_word(secret, secret_value)
+    scratch = image.alloc_array("scratch", 8, align=64)
+    image.write_words(scratch, [rng.randrange(64) for _ in range(8)])
+    array2 = image.alloc("array2", PROBE_ENTRIES * DEFAULT_STRIDE)
+    trigger = image.alloc_array("trigger_d", 2)
+    image.write_word(trigger, 3)
+    sp = image.alloc_stack(64)
+
+    body = []
+    for i in range(ops):
+        body.append(rng.choice((
+            f"addi r1{i % 4 + 1}, r11, {rng.randrange(8)}",
+            f"xori r1{i % 4 + 1}, r12, {rng.randrange(8)}",
+            f"slli r1{i % 4 + 1}, r13, {rng.randrange(3)}",
+        )))
+    alu = "\n        ".join(body)
+
+    source = f"""
+        li   r2, @scratch
+        load r11, r2, 0
+        load r12, r2, 8
+        load r13, r2, 16
+        {alu}
+        store r11, r2, 24
+        li   r9, @trigger_d
+        clflush r9, 0
+        fence
+        load r21, r9, 0          # stalling load: opens runahead
+        add  r22, r21, r11
+        load r23, r2, 32         # scratch load on a clean address
+        li   r1, {_DELAY_ITERS}
+    delay:
+        addi r1, r1, -1
+        bne  r1, r0, delay
+        halt
+    """
+    program = assemble(source, memory_image=image)
+    return GadgetCase(
+        name=f"gen:straight:{seed}", program=program, image=image,
+        initial_sp=sp, secret_addrs=(secret,), secret_value=secret_value,
+        probe_base=array2, probe_stride=DEFAULT_STRIDE,
+        probe_entries=PROBE_ENTRIES, probe_free=True,
+        expect_leak=False,
+        notes=f"ops={ops}; no secret access anywhere")

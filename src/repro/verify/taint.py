@@ -1,0 +1,106 @@
+"""The taint lattice: concrete values annotated with provenance.
+
+Every register and memory word in the abstract machine holds an
+:class:`AbsValue` — a concrete value (the checker is a *concrete* taint
+interpreter, not a symbolic one: addresses in our gadget programs are
+data-independent except where the leak itself flows) plus three
+orthogonal annotations:
+
+``taint``
+    Frozenset of secret labels.  Introduced when a load reads a word
+    designated secret; propagated through every ALU op as the union of
+    the source taints.  A *load address* carrying taint inside a
+    transient window is the leak condition.
+``inv``
+    The value is unavailable in this window — the runahead INV bit
+    (Mutlu'03), also reused in speculation windows for "the fill will
+    not arrive before the squash".  INV propagates like taint;
+    INV-address loads and INV-source stores are dropped, exactly as the
+    pipeline drops them.
+``slow``
+    The value derives from a memory-level miss, so a branch sourcing it
+    resolves only after hundreds of cycles — the attacker's lever for
+    holding a wrong path open.  Only ``slow``-sourced branches open
+    speculation windows; a warm-operand branch resolves (and squashes)
+    far too fast to steer a leak, so exploring it would flag gadgets the
+    cycle simulator cannot reproduce.
+
+``chain`` carries the provenance pc trail from the tainting load toward
+the current value, capped so golden fixtures stay small.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+_NO_TAINT: FrozenSet[str] = frozenset()
+_NO_CHAIN: Tuple[int, ...] = ()
+
+#: Provenance chains keep at most this many pcs (ends preserved).
+CHAIN_CAP = 12
+
+
+class AbsValue:
+    """One lattice point: concrete value + taint/INV/slow annotations."""
+
+    __slots__ = ("val", "taint", "inv", "slow", "chain")
+
+    def __init__(self, val, taint=_NO_TAINT, inv=False, slow=False,
+                 chain=_NO_CHAIN):
+        self.val = val
+        self.taint = taint
+        self.inv = inv
+        self.slow = slow
+        self.chain = chain
+
+    def __repr__(self):
+        bits = []
+        if self.taint:
+            bits.append("taint=" + ",".join(sorted(self.taint)))
+        if self.inv:
+            bits.append("INV")
+        if self.slow:
+            bits.append("slow")
+        suffix = (" " + " ".join(bits)) if bits else ""
+        return f"<{self.val!r}{suffix}>"
+
+
+#: The constant zero register / untainted default.
+ZERO = AbsValue(0)
+
+
+def clean(val) -> AbsValue:
+    """A concrete, untainted, available value."""
+    return AbsValue(val)
+
+
+def cap_chain(chain: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Bound a provenance chain, preserving both ends."""
+    if len(chain) <= CHAIN_CAP:
+        return chain
+    keep = CHAIN_CAP - 2
+    return chain[:2] + chain[-keep:]
+
+
+def combine(val, sources, pc) -> AbsValue:
+    """Lattice join for an ALU result at ``pc`` over ``sources``.
+
+    Taint and INV are unions; the chain extends the (merged) source
+    chains with ``pc`` only while taint is flowing — untainted values
+    carry no history.
+    """
+    taint = _NO_TAINT
+    inv = False
+    slow = False
+    chain = _NO_CHAIN
+    for src in sources:
+        if src.taint:
+            taint = taint | src.taint
+            chain = chain + src.chain
+        inv = inv or src.inv
+        slow = slow or src.slow
+    if taint:
+        chain = cap_chain(chain + (pc,))
+    else:
+        chain = _NO_CHAIN
+    return AbsValue(val, taint, inv, slow, chain)

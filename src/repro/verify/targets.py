@@ -1,0 +1,180 @@
+"""Checkable gadget targets: the attack workloads plus custom gadgets.
+
+Every entry pairs an assembled program with the metadata both sides of
+the differential harness need: the checker wants the secret addresses;
+the empirical side (:mod:`repro.verify.crosscheck`) wants either the
+attack variant to replay through :class:`repro.attack.SpecRunAttack`
+(in-program probe oracle) or the probe-array geometry for the
+footprint-diff oracle (probe-free gadgets, whose cache state after the
+run *is* the transmission).
+
+The custom ``stale-store`` gadget is the registry's reason to exist: a
+straight-line (branch-free) runahead-only leak.  An INV-data store is
+dropped by runahead, so a following load reads the *stale* pointer the
+architectural plant left in memory — the secret's address — and the
+dependent load chain transmits the secret, with no prediction anywhere
+for branch restrictions to pin down.  Only the secure (SL-cache)
+defense stops it.  Its ``*-safe`` twin plants a benign pointer instead,
+so the stale value leads nowhere: the checker must stay quiet and the
+simulator's probe footprint must match the architectural one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..attack.gadgets import (DEFAULT_SECRET, DEFAULT_STRIDE, PROBE_ENTRIES,
+                              TRAIN_INDEX, build_attack)
+from ..isa.assembler import assemble
+from ..isa.memory_image import MemoryImage
+
+#: Safe word value for the stale-store twins (≠ DEFAULT_SECRET so the
+#: probe footprints of the leaking and benign paths are distinct).
+SAFE_VALUE = 7
+
+_DELAY_ITERS = 900
+_SETTLE_NOPS = 1500
+
+
+@dataclass
+class GadgetCase:
+    """One target: a program plus what each oracle needs to judge it."""
+
+    name: str
+    program: object
+    image: MemoryImage
+    initial_sp: int
+    #: Word addresses the checker treats as secret sources.
+    secret_addrs: Tuple[int, ...]
+    secret_value: int
+    #: Probe-array geometry (footprint oracle / receiver decoding).
+    probe_base: int
+    probe_stride: int
+    probe_entries: int
+    #: Registered attack variant, when the case wraps one — the
+    #: empirical oracle replays it through SpecRunAttack.
+    attack_variant: Optional[str] = None
+    attack_kwargs: Dict = field(default_factory=dict)
+    #: True when the program has no in-program probe loop, so the
+    #: footprint-diff oracle applies (a probe loop architecturally
+    #: touches every probe line, blinding the diff).
+    probe_free: bool = False
+    #: Whether the gadget leaks on the undefended ("original") machine.
+    expect_leak: bool = True
+    notes: str = ""
+
+
+def _attack_case(name: str, variant: str, expect_leak: bool = True,
+                 notes: str = "", **kwargs) -> GadgetCase:
+    attack = build_attack(variant, **kwargs)
+    return GadgetCase(
+        name=name, program=attack.program, image=attack.image,
+        initial_sp=attack.initial_sp, secret_addrs=(attack.secret_addr,),
+        secret_value=attack.secret_value, probe_base=attack.array2_addr,
+        probe_stride=attack.probe_stride, probe_entries=attack.probe_entries,
+        attack_variant=variant, attack_kwargs=dict(kwargs),
+        probe_free=False, expect_leak=expect_leak,
+        notes=notes or attack.notes)
+
+
+def _build_stale_store(plant_secret: bool) -> GadgetCase:
+    """The straight-line stale-store gadget (or its benign twin)."""
+    image = MemoryImage()
+    secret = image.alloc("secret_word", 8, align=64)
+    image.write_word(secret, DEFAULT_SECRET)
+    safe = image.alloc("safe_word", 8, align=64)
+    image.write_word(safe, SAFE_VALUE)
+    ptr_slot = image.alloc("ptr_slot", 8, align=64)
+    array2 = image.alloc("array2", PROBE_ENTRIES * DEFAULT_STRIDE)
+    trigger = image.alloc_array("trigger_d", 2)
+    image.write_word(trigger, 1)
+    sp = image.alloc_stack(64)
+    plant = "@secret_word" if plant_secret else "@safe_word"
+
+    source = f"""
+    # ---- warm-up: the victim legitimately touches its data --------------
+        li   r27, @array2
+        li   r4, @secret_word
+        load r15, r4, 0         # warm the secret line
+        li   r5, @safe_word
+        load r16, r5, 0         # warm the safe line
+        li   r6, @ptr_slot
+        load r8, r6, 0          # warm ptr_slot's line before planting
+        fence
+    # ---- settle: branch-free sled outlasting the warm-up fills ----------
+        .repeat {_SETTLE_NOPS}, nop
+    # ---- plant the pointer the dropped store will fail to overwrite -----
+        li   r7, {plant}
+        store r7, r6, 0         # ptr_slot = plant (write-allocate hits)
+        fence
+        li   r9, @trigger_d
+        clflush r9, 0           # the stalling load's line
+        fence
+    # ---- gadget: straight line, no branches -----------------------------
+        load r21, r9, 0         # stalling load -> INV in runahead
+        andi r22, r21, 0        # arch 0; INV in runahead
+        li   r23, @safe_word
+        add  r24, r23, r22      # data: arch &safe_word; INV in runahead
+        store r24, r6, 0        # arch: ptr_slot = &safe; runahead: DROPPED
+        load r25, r6, 0         # p: arch &safe; runahead: stale plant
+        load r26, r25, 0        # v = [p]
+        muli r28, r26, {DEFAULT_STRIDE}
+        add  r28, r28, r27
+        load r29, r28, 0        # transmit v into the probe array
+        fence
+    # ---- wait out the runahead interval, then stop ----------------------
+        li   r1, {_DELAY_ITERS}
+    delay:
+        addi r1, r1, -1
+        bne  r1, r0, delay
+        halt
+    """
+    program = assemble(source, memory_image=image)
+    name = "stale-store" if plant_secret else "stale-store-safe"
+    return GadgetCase(
+        name=name, program=program, image=image, initial_sp=sp,
+        secret_addrs=(secret,), secret_value=DEFAULT_SECRET,
+        probe_base=array2, probe_stride=DEFAULT_STRIDE,
+        probe_entries=PROBE_ENTRIES, probe_free=True,
+        expect_leak=plant_secret,
+        notes="straight-line stale-store gadget; runahead-only, immune "
+              "to branch restrictions" if plant_secret else
+              "benign twin: the stale pointer is the safe word")
+
+
+#: name -> builder.  Built lazily: assembling every target up front
+#: would tax importers that want a single case.
+TARGET_BUILDERS: Dict[str, Callable[[], GadgetCase]] = {
+    "pht": lambda: _attack_case("pht", "pht"),
+    "pht-padded": lambda: _attack_case(
+        "pht-padded", "pht", nop_padding=300,
+        notes="Fig. 11: gadget pushed beyond the reorder buffer — "
+              "reachable only through runahead"),
+    "pht-safe": lambda: _attack_case(
+        "pht-safe", "pht", expect_leak=False, trigger_index=TRAIN_INDEX,
+        notes="benign calibration twin: in-bounds trigger index"),
+    "btb": lambda: _attack_case("btb", "btb"),
+    "rsb-overwrite": lambda: _attack_case("rsb-overwrite", "rsb-overwrite"),
+    "rsb-flush": lambda: _attack_case("rsb-flush", "rsb-flush"),
+    "stale-store": lambda: _build_stale_store(True),
+    "stale-store-safe": lambda: _build_stale_store(False),
+}
+
+#: Targets wrapping registered attack variants (AttackResult oracle).
+ATTACK_TARGETS = ("pht", "pht-padded", "pht-safe", "btb",
+                  "rsb-overwrite", "rsb-flush")
+
+
+def target_names() -> Tuple[str, ...]:
+    return tuple(TARGET_BUILDERS)
+
+
+def build_target(name: str) -> GadgetCase:
+    try:
+        builder = TARGET_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown verify target {name!r}; expected one of "
+            f"{', '.join(TARGET_BUILDERS)}") from None
+    return builder()

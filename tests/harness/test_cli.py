@@ -65,6 +65,59 @@ class TestSweepCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestVerifyCommand:
+    def test_list_targets(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pht", "stale-store", "pht-safe"):
+            assert name in out
+        assert "gen:<family>:<seed>" in out
+
+    def test_leaking_target_exits_one(self, capsys):
+        assert main(["verify", "stale-store", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "LEAK" in out and "window=runahead" in out
+        assert "taint=secret_word" in out
+
+    def test_defended_target_exits_zero(self, capsys):
+        assert main(["verify", "stale-store", "--defense", "secure",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "suppressed" in out
+
+    def test_window_narrowing(self, capsys):
+        assert main(["verify", "stale-store", "--windows", "speculation",
+                     "--no-cache"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cross_check_agreement(self, capsys):
+        assert main(["verify", "stale-store-safe", "--cross-check",
+                     "--no-cache"]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        assert main(["verify", "stale-store", "--json",
+                     "--no-cache"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["clean"] is False
+        assert payload["result"]["reports"][0]["window"] == "runahead"
+
+    def test_unknown_target_errors(self, capsys):
+        assert main(["verify", "meltdown", "--no-cache"]) == 1
+        assert "unknown verify target" in capsys.readouterr().err
+
+    def test_defense_choices_match_the_checker(self):
+        from repro.verify.engine import DEFENSES
+        with pytest.raises(SystemExit):
+            main(["verify", "pht", "--defense", "asbestos"])
+        for defense in DEFENSES:
+            # argparse accepts every checker defense name.
+            from repro.__main__ import build_parser
+            args = build_parser().parse_args(
+                ["verify", "pht", "--defense", defense])
+            assert args.defense == defense
+
+
 class TestRunCommand:
     def test_run_taint_trial(self, capsys, cache_dir):
         assert main(["run", "taint", "--cache-dir", cache_dir]) == 0

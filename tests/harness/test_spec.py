@@ -36,6 +36,36 @@ class TestTrial:
         trial = Trial("attack", {"variant": "pht", "runahead": "vector"})
         assert "pht" in trial.label and "vector" in trial.label
 
+    def test_verify_label_names_target_and_defense(self):
+        trial = Trial("verify", {"target": "stale-store",
+                                 "defense": "secure"})
+        assert "stale-store" in trial.label and "secure" in trial.label
+
+
+class TestTrialKindConsistency:
+    """The spec validator and the runner dispatch must present the same
+    universe of trial kinds — an unknown kind gets the same list from
+    both, and every declared kind actually has a runner."""
+
+    def test_runners_cover_exactly_the_declared_kinds(self):
+        from repro.harness.runner import _RUNNERS
+        from repro.harness.spec import TRIAL_KINDS
+        assert set(_RUNNERS) == set(TRIAL_KINDS)
+
+    def test_unknown_kind_messages_list_the_same_kinds(self):
+        from repro.harness.runner import TrialError, run_trial
+        from repro.harness.spec import TRIAL_KINDS
+        with pytest.raises(ValueError) as spec_err:
+            Trial("frobnicate", {})
+        # Reach the runner with a kind the spec validator would reject.
+        trial = Trial("taint", {})
+        trial.kind = "frobnicate"
+        with pytest.raises(TrialError) as runner_err:
+            run_trial(trial)
+        suffix = f"expected one of {TRIAL_KINDS}"
+        assert str(spec_err.value).endswith(suffix)
+        assert str(runner_err.value).endswith(suffix)
+
 
 class TestSweep:
     def test_grid_expands_cartesian_in_order(self):

@@ -1,0 +1,124 @@
+"""Property-test shim over the seeded gadget generator.
+
+The property: for every generated program and defense, the static
+checker and the cycle simulator must satisfy the cross-check contract
+(:mod:`repro.verify.crosscheck`).  This shim runs that property over a
+seed range and, when a seed fails, *shrinks* it — the generator draws
+every knob through an overridable parameter, so shrinking re-generates
+the same seed with knobs forced toward their simplest values one at a
+time, keeping an override only while the disagreement persists.  The
+minimal failing program is dumped as a commented ``.isa`` artifact next
+to this file so the failure is reproducible without the generator.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.crosscheck import CrossCheckResult, cross_check_case
+from repro.verify.gen import generate_case
+from repro.verify.targets import GadgetCase
+
+ARTIFACT_DIR = pathlib.Path(__file__).with_name("artifacts")
+
+#: Per-family shrink moves, in application order: (knob, simplest value).
+#: A move is kept only if the failure survives it, so the result is a
+#: locally-minimal knob assignment for the same seed.
+SHRINK_MOVES: Dict[str, Tuple[Tuple[str, object], ...]] = {
+    "spec": (("padding", 0), ("hops", 0), ("touch_secret", False),
+             ("malicious", False)),
+    "stale": (("hops", 0), ("plant_secret", False)),
+    "straight": (("ops", 2),),
+}
+
+
+@dataclass
+class PropertyFailure:
+    seed: int
+    family: str
+    overrides: Dict[str, object]
+    case: GadgetCase
+    disagreements: List[str]
+    artifact: Optional[pathlib.Path]
+
+    def __str__(self) -> str:
+        lines = [f"seed={self.seed} family={self.family} "
+                 f"minimal overrides={self.overrides or '{}'}"]
+        lines += [f"  {d}" for d in self.disagreements]
+        if self.artifact:
+            lines.append(f"  minimal program: {self.artifact}")
+        return "\n".join(lines)
+
+
+def family_of(seed: int, family: Optional[str] = None) -> str:
+    return generate_case(seed, family=family).name.split(":")[1]
+
+
+def check_seed(seed: int, family: Optional[str] = None,
+               defenses: Sequence[str] = ("original",),
+               **overrides) -> Tuple[GadgetCase, CrossCheckResult]:
+    """Cross-check one generated program; returns (case, result)."""
+    case = generate_case(seed, family=family, **overrides)
+    return case, cross_check_case(case, defenses=defenses)
+
+
+def shrink(seed: int, family: str,
+           fails: Callable[[GadgetCase], bool]
+           ) -> Tuple[Dict[str, object], GadgetCase]:
+    """Greedy knob minimization: force each knob simple while ``fails``
+    still holds.  Returns the kept overrides and the minimal case."""
+    overrides: Dict[str, object] = {}
+    for knob, simplest in SHRINK_MOVES[family]:
+        candidate = dict(overrides)
+        candidate[knob] = simplest
+        if fails(generate_case(seed, family=family, **candidate)):
+            overrides = candidate
+    return overrides, generate_case(seed, family=family, **overrides)
+
+
+def dump_artifact(case: GadgetCase, seed: int,
+                  overrides: Dict[str, object],
+                  disagreements: Sequence[str]) -> pathlib.Path:
+    """Write the minimal failing program as a commented .isa file."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / f"minimal-{case.name.replace(':', '-')}.isa"
+    header = [f"; minimal failing gadget {case.name}",
+              f"; regenerate: generate_case({seed}, "
+              f"family={case.name.split(':')[1]!r}, "
+              + ", ".join(f"{k}={v!r}" for k, v in overrides.items())
+              + ")",
+              f"; knobs: {case.notes}"]
+    header += [f"; disagreement: {d}" for d in disagreements]
+    body = "\n".join(case.program.disassemble())
+    path.write_text("\n".join(header) + "\n\n" + body + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def run_property(seeds: Sequence[int],
+                 defenses: Sequence[str] = ("original",),
+                 family: Optional[str] = None,
+                 artifacts: bool = True) -> List[PropertyFailure]:
+    """Cross-check every seed; shrink and dump whatever fails."""
+    failures: List[PropertyFailure] = []
+    for seed in seeds:
+        case, result = check_seed(seed, family=family, defenses=defenses)
+        if result.ok:
+            continue
+        fam = case.name.split(":")[1]
+
+        def fails(candidate: GadgetCase) -> bool:
+            return not cross_check_case(candidate,
+                                        defenses=defenses).ok
+
+        overrides, minimal = shrink(seed, fam, fails)
+        final = cross_check_case(minimal, defenses=defenses)
+        artifact = dump_artifact(minimal, seed, overrides,
+                                 final.disagreements) if artifacts \
+            else None
+        failures.append(PropertyFailure(
+            seed=seed, family=fam, overrides=overrides, case=minimal,
+            disagreements=list(final.disagreements), artifact=artifact))
+    return failures

@@ -1,0 +1,69 @@
+"""Golden ``LeakReport`` recorder for the static leak checker.
+
+``tests/verify/golden_reports.json`` pins the checker's verdict for
+every registered attack target under every defense in the default
+cross-check sweep: the exact report set (pc, window kind, taint
+provenance, chain) plus the exploration counters.  The checker is an
+abstract interpreter — any change to its window semantics, fork policy
+or taint propagation shows up here first, the same way
+``tests/golden/golden_stats.json`` guards the cycle simulator.
+
+``python -m tests.verify.recorder`` regenerates the fixture; do that
+only when a verdict change is *intended* (and re-run the cross-check
+gate — ``repro sweep verify_cross_check --quick`` — before committing).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.harness.runner import resolve_verify_target, verify_record
+from repro.harness.spec import canonical_json
+from repro.verify import check_program
+from repro.verify.crosscheck import DEFAULT_DEFENSES
+from repro.verify.targets import target_names
+
+GOLDEN_PATH = pathlib.Path(__file__).with_name("golden_reports.json")
+
+#: The defense sweep the fixture spans (same as the cross-check gate).
+DEFENSES_RECORDED = DEFAULT_DEFENSES
+
+
+def verify_report_record(target: str, defense: str) -> dict:
+    """Run the checker on one target × defense cell; full payload."""
+    case = resolve_verify_target(target)
+    result = check_program(case.program, case.image,
+                           secret_addrs=case.secret_addrs,
+                           initial_sp=case.initial_sp, defense=defense)
+    return verify_record(case, result)
+
+
+def all_report_records() -> dict:
+    return {f"{target}/{defense}": verify_report_record(target, defense)
+            for target in target_names()
+            for defense in DEFENSES_RECORDED}
+
+
+def load_golden() -> dict:
+    with GOLDEN_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def normalize(value):
+    """Round-trip through canonical JSON so the fresh record compares
+    the way it is stored in the fixture."""
+    return json.loads(canonical_json(value))
+
+
+def main() -> int:
+    golden = all_report_records()
+    GOLDEN_PATH.write_text(json.dumps(golden, sort_keys=True, indent=1)
+                           + "\n", encoding="utf-8")
+    flagged = sum(1 for rec in golden.values() if not rec["clean"])
+    print(f"wrote {GOLDEN_PATH}: {len(golden)} cells, {flagged} flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Golden ``LeakReport`` differential tests for the static checker.
+
+``tests/verify/golden_reports.json`` pins the checker's full verdict —
+report set, window attribution, taint chains, exploration counters —
+for every registered attack target under the default defense sweep.
+A mismatch means the checker's semantics changed; regenerate with
+``python -m tests.verify.recorder`` only when that change is intended.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.verify import recorder
+from repro.verify.targets import target_names
+
+GOLDEN = recorder.load_golden()
+
+CELL_KEYS = sorted(GOLDEN)
+
+
+def test_fixture_covers_expected_grid():
+    """Every registered target × recorded defense has a golden cell."""
+    expected = {f"{target}/{defense}"
+                for target in target_names()
+                for defense in recorder.DEFENSES_RECORDED}
+    assert set(GOLDEN) == expected
+
+
+@pytest.mark.parametrize("key", CELL_KEYS)
+def test_reports_match_golden(key):
+    target, defense = key.rsplit("/", 1)
+    fresh = recorder.normalize(
+        recorder.verify_report_record(target, defense))
+    want = GOLDEN[key]
+    assert fresh.keys() == want.keys()
+    for field in want:
+        assert fresh[field] == want[field], \
+            f"{key}: {field} diverged from the recorded checker verdict"

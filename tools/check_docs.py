@@ -16,7 +16,10 @@ source tree:
   a subcommand the argument parser actually defines;
 * workload/receiver/controller names in ``key=value`` CLI examples
   (``workload=``, ``receiver=``, ``runahead=``, ``corunner=``) must
-  resolve through the harness registry.
+  resolve through the harness registry;
+* ``repro verify <target>`` examples (and ``target=``/``defense=``
+  trial params) must name a registered verify target — or a well-formed
+  ``gen:<family>:<seed>`` — and a defense the checker knows.
 
 Run from the repository root (CI runs it as the ``docs-check`` step)::
 
@@ -50,12 +53,16 @@ _SYMBOL = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _FLAG = re.compile(r"(?<![\w\-/.])--[a-z][a-z0-9\-]*")
 _SWEEP_NAME = re.compile(r"repro sweep ([a-z0-9_]+)")
 _RUN_KIND = re.compile(r"repro run ([a-z0-9_]+)")
+#: ``repro verify <target>`` — leading dash (flags) and ``<...>``
+#: placeholders deliberately don't match.
+_VERIFY_TARGET = re.compile(r"repro verify ([a-z][a-z0-9:\-]*)")
 #: Command groups whose subcommand names docs may reference.
 _GROUPED = ("campaign", "trace", "obs")
 _GROUP_SUB = re.compile(
     r"repro (" + "|".join(_GROUPED) + r") ([a-z][a-z0-9\-]*)")
 _KEYED_NAME = re.compile(
-    r"\b(workload|receiver|corunner|runahead|contender|baseline)"
+    r"\b(workload|receiver|corunner|runahead|contender|baseline|defense"
+    r"|target)"
     r"=([A-Za-z0-9_.:\-]+)")
 #: ``executor=fleet`` (CLI) and ``executor="fleet"`` (Python) forms
 #: both resolve against the harness executor registry.
@@ -124,6 +131,17 @@ def _resolve_symbol(symbol: str) -> bool:
     return False
 
 
+def _verify_target_ok(name: str) -> bool:
+    """True when a ``repro verify`` target resolves (registered or
+    a well-formed ``gen:<family>:<seed>`` name)."""
+    from repro.harness.runner import resolve_verify_target
+    try:
+        resolve_verify_target(name)
+    except (KeyError, ValueError):
+        return False
+    return True
+
+
 def check_file(path: pathlib.Path) -> List[str]:
     from repro.harness import presets
     from repro.harness.executor import EXECUTORS
@@ -152,6 +170,10 @@ def check_file(path: pathlib.Path) -> List[str]:
         if kind not in TRIAL_KINDS:
             problems.append(f"{path.name}: unknown trial kind "
                             f"`repro run {kind}`")
+    for name in sorted(set(_VERIFY_TARGET.findall(code))):
+        if not _verify_target_ok(name):
+            problems.append(f"{path.name}: unknown verify target "
+                            f"`repro verify {name}`")
     for name in sorted(set(_EXECUTOR_NAME.findall(code))):
         if name not in EXECUTORS:
             problems.append(f"{path.name}: unknown executor "
@@ -161,7 +183,7 @@ def check_file(path: pathlib.Path) -> List[str]:
             problems.append(f"{path.name}: unknown subcommand "
                             f"`repro {group} {sub}`")
     for key, value in sorted(set(_KEYED_NAME.findall(code))):
-        if value.startswith("trace:") or "<" in value:
+        if value.startswith("trace:") or "<" in value or value == "...":
             continue          # file-path replays / placeholders
         if "_" in value or value != value.lower():
             continue          # Python keyword argument, not a CLI name
@@ -179,6 +201,14 @@ def check_file(path: pathlib.Path) -> List[str]:
                 and value not in CONTROLLERS:
             problems.append(f"{path.name}: unknown controller "
                             f"`{key}={value}`")
+        elif key == "defense":
+            from repro.verify.engine import DEFENSES
+            if value not in DEFENSES:
+                problems.append(f"{path.name}: unknown defense "
+                                f"`defense={value}`")
+        elif key == "target" and not _verify_target_ok(value):
+            problems.append(f"{path.name}: unknown verify target "
+                            f"`target={value}`")
     return problems
 
 
